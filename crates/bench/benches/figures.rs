@@ -1,0 +1,53 @@
+//! Criterion bench for the motivating-example pipeline (Figures 1–2):
+//! how much each analysis method costs on the same small system — exact
+//! Markov chain vs TGMG simulation vs cycle-accurate machine vs LP bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rr_elastic::{simulate as machine_sim, MachineParams};
+use rr_markov::exact_throughput;
+use rr_rrg::figures;
+use rr_tgmg::{lp_bound, sim as tgmg_sim, skeleton::tgmg_of};
+
+fn bench_methods(c: &mut Criterion) {
+    let g = figures::figure_1b(0.9);
+    let tgmg = tgmg_of(&g);
+    let mut group = c.benchmark_group("figure_1b_throughput_methods");
+    group.bench_function("markov_exact", |b| {
+        b.iter(|| exact_throughput(black_box(&g)).unwrap().throughput)
+    });
+    group.bench_function("tgmg_sim_30k", |b| {
+        b.iter(|| {
+            tgmg_sim::simulate(black_box(&tgmg), &tgmg_sim::SimParams::default())
+                .unwrap()
+                .throughput
+        })
+    });
+    group.bench_function("machine_sim_30k", |b| {
+        b.iter(|| {
+            machine_sim(black_box(&g), &MachineParams::default())
+                .unwrap()
+                .throughput
+        })
+    });
+    group.bench_function("lp_bound", |b| {
+        b.iter(|| lp_bound::throughput_upper_bound(black_box(&tgmg)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_optimizer_rediscovery(c: &mut Criterion) {
+    let g = figures::figure_1a(0.9);
+    let opts = rr_core::CoreOptions::fast();
+    c.bench_function("min_eff_cyc_figure_1a", |b| {
+        b.iter(|| rr_core::algorithm::min_eff_cyc(black_box(&g), &opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods, bench_optimizer_rediscovery
+}
+criterion_main!(benches);

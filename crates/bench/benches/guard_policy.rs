@@ -1,0 +1,40 @@
+//! Ablation: guard-selection semantics of early evaluation. The paper's
+//! Markov values (0.491/0.719 for Figure 1(b)) pin down the *persistent*
+//! policy — a drawn select value waits for its channel. Resampling every
+//! blocked cycle is a tempting-but-wrong alternative (it skews measured
+//! throughput upward); this bench quantifies both cost and skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rr_rrg::figures;
+use rr_tgmg::sim::{simulate, GuardPolicy, SimParams};
+use rr_tgmg::skeleton::tgmg_of;
+
+fn bench_guard_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guard_policy_fig1b");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("persistent", GuardPolicy::Persistent),
+        ("resample", GuardPolicy::ResampleEachCycle),
+    ] {
+        let t = tgmg_of(&figures::figure_1b(0.9));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            let params = SimParams {
+                horizon: 10_000,
+                warmup: 1_000,
+                guard_policy: policy,
+                ..Default::default()
+            };
+            b.iter(|| simulate(black_box(t), &params).unwrap().throughput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_guard_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! MILP/LP scaling bench — the reproduction-side counterpart of the
+//! paper's §6 remark that "the proposed MILPs are difficult to solve
+//! exactly for circuit graphs with more than one thousand edges".
+//!
+//! Measures, as the random-graph size grows:
+//! * the LP throughput-bound solve (pure simplex),
+//! * the `MAX_THR` MILP at the min-delay cycle time (simplex + B&B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rr_core::{formulation, CoreOptions};
+use rr_rrg::generate::GeneratorParams;
+use rr_tgmg::{lp_bound, skeleton::tgmg_of};
+
+fn bench_lp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_bound_scaling");
+    group.sample_size(10);
+    for &edges in &[20usize, 60, 120, 240] {
+        let nodes = edges / 2;
+        let early = (nodes / 8).max(1);
+        let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
+        let g = p.generate(42);
+        let t = tgmg_of(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &t, |b, t| {
+            b.iter(|| lp_bound::throughput_upper_bound(black_box(t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_thr_scaling");
+    group.sample_size(10);
+    for &edges in &[20usize, 40] {
+        let nodes = edges / 2;
+        let early = (nodes / 8).max(1);
+        let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
+        let g = p.generate(42);
+        let opts = CoreOptions::fast();
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &g, |b, g| {
+            b.iter(|| formulation::max_thr(black_box(g), g.max_delay(), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_lp_scaling, bench_milp_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Table-1 pipeline pieces on the s526 profile:
+//! the two MILPs of one sweep step and the per-configuration evaluation.
+//! (The full table is produced by the `table1` binary; benching it whole
+//! would just measure the solver time limit.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rr_core::{evaluate::evaluate_config, formulation, CoreOptions};
+use rr_rrg::{iscas::IscasProfile, Config};
+
+fn bench_s526_components(c: &mut Criterion) {
+    let profile = IscasProfile::by_name("s526").unwrap();
+    let g = profile.generate(2009);
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = Some(std::time::Duration::from_secs(3));
+    let mut group = c.benchmark_group("table1_s526");
+    group.sample_size(10);
+
+    group.bench_function("max_thr_at_min_delay", |b| {
+        b.iter(|| formulation::max_thr(black_box(&g), g.max_delay(), &opts).unwrap())
+    });
+    group.bench_function("min_cyc_at_unit_throughput", |b| {
+        b.iter(|| formulation::min_cyc(black_box(&g), 1.0, &opts).unwrap())
+    });
+    group.bench_function("evaluate_initial_config", |b| {
+        let cfg = Config::initial(&g);
+        b.iter(|| evaluate_config(black_box(&g), &cfg, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_s526_components
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Table-2 pipeline rows on the two smallest
+//! profiles — the end-to-end cost of one benchmark circuit (baseline
+//! retiming + Pareto sweep + simulations). The full 18-row table is
+//! produced by the `table2` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rr_core::report::evaluate_benchmark;
+use rr_core::CoreOptions;
+use rr_rrg::iscas::IscasProfile;
+
+fn bench_small_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_row");
+    group.sample_size(10);
+    for name in ["s208", "s838"] {
+        let g = IscasProfile::by_name(name).unwrap().generate(2009);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| evaluate_benchmark(black_box(name), g, &CoreOptions::fast()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_small_rows
+}
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! The binaries in `src/bin` regenerate the paper's artefacts:
+//!
+//! | binary    | artefact |
+//! |-----------|----------|
+//! | `figures` | Figures 1–2 and the §1.4 numbers (Markov, simulators, LP bound, optimizer rediscovery) |
+//! | `table1`  | Table 1 — all non-dominated RCs of the s526 profile |
+//! | `table2`  | Table 2 — the 18 ISCAS89 profiles with ξ*, ξ_nee, ξ_lp, ξ_sim, I% |
+//!
+//! Criterion benches live in `benches/` and measure the *performance* of
+//! the reproduction itself (MILP scaling, simulator cost); the binaries
+//! produce the *numbers*.
+
+use std::time::Duration;
+
+use rr_core::CoreOptions;
+use rr_milp::SolverOptions;
+use rr_rrg::iscas::IscasProfile;
+use rr_tgmg::sim::SimParams;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Base RNG seed for graph generation (`--seed N`).
+    pub seed: u64,
+    /// Edge cap for profile scaling (`--max-edges N`); `--full-size`
+    /// disables scaling entirely. See EXPERIMENTS.md for why the default
+    /// caps the four largest profiles.
+    pub max_edges: Option<usize>,
+    /// Per-MILP time limit in seconds (`--time-limit N`). The paper used
+    /// 20-minute CPLEX timeouts.
+    pub time_limit_secs: u64,
+    /// Simulation horizon in cycles (`--horizon N`).
+    pub horizon: u64,
+    /// Restrict to named circuits (`--only s526,s27`).
+    pub only: Vec<String>,
+    /// Print per-configuration detail (`--verbose`).
+    pub verbose: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            seed: 2009, // DAC 2009
+            max_edges: Some(150),
+            time_limit_secs: 120,
+            horizon: 30_000,
+            only: Vec::new(),
+            verbose: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments (program name already
+    /// stripped).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or malformed values.
+    pub fn parse(args: impl Iterator<Item = String>) -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--seed" => out.seed = take("--seed").parse().expect("seed must be an integer"),
+                "--max-edges" => {
+                    out.max_edges =
+                        Some(take("--max-edges").parse().expect("max-edges must be an integer"))
+                }
+                "--full-size" => out.max_edges = None,
+                "--time-limit" => {
+                    out.time_limit_secs =
+                        take("--time-limit").parse().expect("time-limit must be seconds")
+                }
+                "--horizon" => {
+                    out.horizon = take("--horizon").parse().expect("horizon must be an integer")
+                }
+                "--only" => {
+                    out.only = take("--only").split(',').map(str::to_string).collect()
+                }
+                "--verbose" => out.verbose = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --seed N --max-edges N --full-size --time-limit SECS \
+                         --horizon CYCLES --only s526,s27 --verbose"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Core optimizer options implied by the arguments.
+    pub fn core_options(&self) -> CoreOptions {
+        CoreOptions {
+            solver: SolverOptions {
+                time_limit: Some(Duration::from_secs(self.time_limit_secs)),
+                ..Default::default()
+            },
+            sim: SimParams {
+                horizon: self.horizon,
+                warmup: self.horizon / 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// The profile as actually run (scaled unless `--full-size`).
+    pub fn effective_profile(&self, p: &IscasProfile) -> IscasProfile {
+        match self.max_edges {
+            Some(cap) => p.scaled(cap),
+            None => *p,
+        }
+    }
+
+    /// Whether a circuit is selected by `--only`.
+    pub fn selected(&self, name: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|n| n == name)
+    }
+}
+
+/// Runs items in parallel with up to `available_parallelism` workers,
+/// preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results_mx = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n.max(1)) {
+            s.spawn(|| loop {
+                let item = work.lock().unwrap().pop();
+                let Some((i, item)) = item else {
+                    return;
+                };
+                let r = f(item);
+                results_mx.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker finished every item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = args(&[]);
+        assert_eq!(a.seed, 2009);
+        assert_eq!(a.max_edges, Some(150));
+        let b = args(&["--seed", "7", "--full-size", "--only", "s27,s526", "--verbose"]);
+        assert_eq!(b.seed, 7);
+        assert_eq!(b.max_edges, None);
+        assert!(b.selected("s27") && b.selected("s526") && !b.selected("s208"));
+        assert!(b.verbose);
+    }
+
+    #[test]
+    fn scaling_respects_full_size() {
+        let p = IscasProfile::by_name("s1488").unwrap();
+        let capped = args(&[]).effective_profile(&p);
+        assert!(capped.edges <= 150);
+        let full = args(&["--full-size"]).effective_profile(&p);
+        assert_eq!(full.edges, 572);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..32).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        args(&["--bogus"]);
+    }
+}

@@ -1,0 +1,102 @@
+//! FIFO sizing — the reproduction's substitute for the paper's footnote-1
+//! reference (Lu & Koh, ICCAD'03: "performance optimization of latency
+//! insensitive systems through buffer queue sizing").
+//!
+//! The paper *assumes* buffers are big enough that only forward paths
+//! limit throughput. These helpers find how big "big enough" actually is
+//! for a given configuration, by measuring the bounded-capacity machine
+//! against the idealised one.
+
+use rr_rrg::Rrg;
+
+use crate::machine::Capacity;
+use crate::run::{simulate, MachineParams, RunResult};
+
+/// Result of a capacity search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingResult {
+    /// The smallest per-buffer multiplier `k` whose throughput reaches
+    /// the requested fraction of the unbounded throughput.
+    pub capacity_per_buffer: u32,
+    /// Bounded throughput at that `k`.
+    pub throughput: f64,
+    /// The idealised (unbounded) throughput it was measured against.
+    pub unbounded_throughput: f64,
+}
+
+/// Finds the smallest uniform per-EB capacity multiplier `k ∈ [1, max_k]`
+/// such that the bounded machine reaches `fraction` (e.g. 0.99) of the
+/// unbounded throughput. Returns `None` when even `max_k` falls short —
+/// which happens when wire channels (capacity 0 at any `k`) structurally
+/// couple producers to stalled consumers.
+///
+/// Deadlocking capacities are skipped, mirroring how a FIFO-sizing tool
+/// would reject them.
+pub fn minimal_uniform_capacity(
+    g: &Rrg,
+    fraction: f64,
+    max_k: u32,
+    params: &MachineParams,
+) -> Option<SizingResult> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let unbounded = simulate(
+        g,
+        &MachineParams {
+            capacity: Capacity::Unbounded,
+            ..params.clone()
+        },
+    )
+    .ok()?
+    .throughput;
+    for k in 1..=max_k {
+        let run: Result<RunResult, _> = simulate(
+            g,
+            &MachineParams {
+                capacity: Capacity::PerBuffer(k),
+                ..params.clone()
+            },
+        );
+        if let Ok(r) = run {
+            if r.throughput >= fraction * unbounded - 1e-9 {
+                return Some(SizingResult {
+                    capacity_per_buffer: k,
+                    throughput: r.throughput,
+                    unbounded_throughput: unbounded,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_rrg::figures;
+
+    #[test]
+    fn figure_1a_needs_minimal_capacity() {
+        // A bubble-free ring at Θ = 1 works with real 2-slot EBs.
+        let g = figures::figure_1a(0.5);
+        let r = minimal_uniform_capacity(&g, 0.98, 4, &MachineParams::fast(1)).unwrap();
+        assert!(r.capacity_per_buffer <= 2, "needed k = {}", r.capacity_per_buffer);
+        assert!((r.unbounded_throughput - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn capacity_requirement_is_monotone_in_fraction() {
+        let g = figures::figure_1b(0.9);
+        let lo = minimal_uniform_capacity(&g, 0.5, 8, &MachineParams::fast(2));
+        let hi = minimal_uniform_capacity(&g, 0.95, 8, &MachineParams::fast(2));
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            assert!(lo.capacity_per_buffer <= hi.capacity_per_buffer);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let g = figures::figure_1a(0.5);
+        let _ = minimal_uniform_capacity(&g, 1.5, 2, &MachineParams::fast(1));
+    }
+}

@@ -1,0 +1,514 @@
+//! Exact steady-state throughput of (small) elastic systems via Markov
+//! chains — the analysis the paper uses for its motivating example (§1.4):
+//! "The behavior of ESs with early evaluation can be modeled using Markov
+//! chains. Although this approach does not scale in general, … it can be
+//! used for analysis of this small example to compute an exact expression
+//! for the throughput."
+//!
+//! The chain's states are the canonical machine states of
+//! [`rr_elastic::Machine`] (channel queues, anti-token debt, pending guard
+//! selections); one transition = one clock cycle; branching comes from the
+//! γ-distributed guard draws. The long-run average of "reference node
+//! fired this cycle" is the throughput.
+//!
+//! The solver enumerates the reachable state space (guard combinations ×
+//! deterministic step), locates the terminal strongly connected component,
+//! and solves the stationary equations exactly by Gaussian elimination; a
+//! Cesàro-averaged power iteration covers the (rare) multi-terminal or
+//! very large cases.
+//!
+//! # Example
+//!
+//! ```
+//! use rr_markov::exact_throughput;
+//! use rr_rrg::figures;
+//!
+//! // Figure 2's closed form Θ = 1/(3 − 2α), derived in the paper by
+//! // "resolving the Markov chain", falls out exactly:
+//! let th = exact_throughput(&figures::figure_2(0.9))?;
+//! assert!((th.throughput - 5.0 / 6.0).abs() < 1e-9);
+//! # Ok::<(), rr_markov::MarkovError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rr_elastic::{Capacity, Machine, MachineError};
+use rr_rrg::{EdgeId, NodeId, Rrg};
+
+/// Limits for the state-space exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovParams {
+    /// Abort if more reachable states than this are found.
+    pub max_states: usize,
+    /// Use the exact linear solve up to this many recurrent states; fall
+    /// back to power iteration beyond.
+    pub max_exact_solve: usize,
+    /// Channel capacity model of the underlying machine.
+    pub capacity: Capacity,
+}
+
+impl Default for MarkovParams {
+    fn default() -> Self {
+        MarkovParams {
+            max_states: 200_000,
+            max_exact_solve: 2_000,
+            capacity: Capacity::Unbounded,
+        }
+    }
+}
+
+/// Analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovResult {
+    /// Exact steady-state throughput (expected firings of node 0 per
+    /// cycle).
+    pub throughput: f64,
+    /// Number of reachable states explored.
+    pub states: usize,
+    /// Number of states in the recurrent class that was solved.
+    pub recurrent_states: usize,
+    /// `true` when the stationary distribution was solved exactly (vs
+    /// power iteration).
+    pub exact: bool,
+}
+
+/// Analysis failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// More reachable states than [`MarkovParams::max_states`].
+    StateSpaceTooLarge { limit: usize },
+    /// Underlying machine failure.
+    Machine(MachineError),
+    /// The chain has several terminal components *and* is too large for
+    /// the power-iteration fallback to converge within its budget.
+    NoConvergence,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::StateSpaceTooLarge { limit } => {
+                write!(f, "reachable state space exceeds {limit} states")
+            }
+            MarkovError::Machine(e) => write!(f, "machine error: {e}"),
+            MarkovError::NoConvergence => f.write_str("power iteration did not converge"),
+        }
+    }
+}
+
+impl Error for MarkovError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarkovError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for MarkovError {
+    fn from(e: MachineError) -> Self {
+        MarkovError::Machine(e)
+    }
+}
+
+/// Exact throughput with default limits.
+///
+/// # Errors
+///
+/// See [`MarkovError`].
+pub fn exact_throughput(g: &Rrg) -> Result<MarkovResult, MarkovError> {
+    exact_throughput_with(g, &MarkovParams::default())
+}
+
+/// Exact throughput with explicit limits.
+///
+/// # Errors
+///
+/// See [`MarkovError`].
+pub fn exact_throughput_with(g: &Rrg, params: &MarkovParams) -> Result<MarkovResult, MarkovError> {
+    let chain = build_chain(g, params)?;
+    solve_chain(&chain, params)
+}
+
+/// The explicit chain: per state, a list of `(successor, probability,
+/// reward)` transitions (reward = 1.0 when the reference node fired).
+struct Chain {
+    transitions: Vec<Vec<(usize, f64, f64)>>,
+}
+
+/// Enumerates guard-choice combinations and successor states.
+fn build_chain(g: &Rrg, params: &MarkovParams) -> Result<Chain, MarkovError> {
+    let initial = Machine::new(g, params.capacity)?;
+    let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut machines: Vec<Machine> = Vec::new();
+    let mut transitions: Vec<Vec<(usize, f64, f64)>> = Vec::new();
+
+    index.insert(initial.canonical_state(), 0);
+    machines.push(initial);
+    transitions.push(Vec::new());
+
+    let mut frontier = vec![0usize];
+    while let Some(s) = frontier.pop() {
+        let machine = machines[s].clone();
+        let undrawn = machine.undrawn_early_nodes();
+        let combos = guard_combinations(g, &undrawn);
+        let mut out = Vec::with_capacity(combos.len());
+        for (choice, prob) in combos {
+            let mut m = machine.clone();
+            let mut it = choice.iter();
+            let outcome = m.step_with(|v| {
+                let &(node, edge) = it.next().expect("draw called more times than undrawn");
+                debug_assert_eq!(node, v, "draw order mismatch");
+                edge
+            });
+            let reward = f64::from(outcome.fired[0]);
+            let key = m.canonical_state();
+            let next = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = machines.len();
+                    if i >= params.max_states {
+                        return Err(MarkovError::StateSpaceTooLarge {
+                            limit: params.max_states,
+                        });
+                    }
+                    index.insert(key, i);
+                    machines.push(m);
+                    transitions.push(Vec::new());
+                    frontier.push(i);
+                    i
+                }
+            };
+            out.push((next, prob, reward));
+        }
+        transitions[s] = out;
+    }
+    Ok(Chain { transitions })
+}
+
+/// Cartesian product of guard choices for the undrawn early nodes, with
+/// the probability of each combination.
+fn guard_combinations(g: &Rrg, undrawn: &[NodeId]) -> Vec<(Vec<(NodeId, EdgeId)>, f64)> {
+    let mut combos: Vec<(Vec<(NodeId, EdgeId)>, f64)> = vec![(Vec::new(), 1.0)];
+    for &v in undrawn {
+        let mut next = Vec::with_capacity(combos.len() * g.in_edges(v).len());
+        for &e in g.in_edges(v) {
+            let p = g.edge(e).gamma().expect("early input without γ");
+            for (combo, cp) in &combos {
+                let mut c = combo.clone();
+                c.push((v, e));
+                next.push((c, cp * p));
+            }
+        }
+        combos = next;
+    }
+    // `step_with` draws in ascending node-id order; keep combos sorted to
+    // match.
+    for (c, _) in &mut combos {
+        c.sort_by_key(|&(v, _)| v);
+    }
+    combos
+}
+
+/// Finds the recurrent class and solves for the stationary throughput.
+fn solve_chain(chain: &Chain, params: &MarkovParams) -> Result<MarkovResult, MarkovError> {
+    let n = chain.transitions.len();
+    let sccs = tarjan(&chain.transitions);
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &s in comp {
+            comp_of[s] = ci;
+        }
+    }
+    // Terminal SCCs: no transition leaves the component.
+    let mut terminal: Vec<usize> = Vec::new();
+    'comp: for (ci, comp) in sccs.iter().enumerate() {
+        for &s in comp {
+            for &(t, _, _) in &chain.transitions[s] {
+                if comp_of[t] != ci {
+                    continue 'comp;
+                }
+            }
+        }
+        terminal.push(ci);
+    }
+
+    if terminal.len() == 1 && sccs[terminal[0]].len() <= params.max_exact_solve {
+        let comp = &sccs[terminal[0]];
+        let theta = stationary_throughput(chain, comp);
+        Ok(MarkovResult {
+            throughput: theta,
+            states: n,
+            recurrent_states: comp.len(),
+            exact: true,
+        })
+    } else {
+        // Multi-terminal or oversized: Cesàro-averaged power iteration
+        // from the initial state.
+        let theta = power_iteration(chain).ok_or(MarkovError::NoConvergence)?;
+        Ok(MarkovResult {
+            throughput: theta,
+            states: n,
+            recurrent_states: terminal.iter().map(|&c| sccs[c].len()).sum(),
+            exact: false,
+        })
+    }
+}
+
+/// Solves `π P = π, Σπ = 1` on one recurrent class by Gaussian
+/// elimination and returns `Σ_s π(s)·r̄(s)`.
+fn stationary_throughput(chain: &Chain, comp: &[usize]) -> f64 {
+    let k = comp.len();
+    let mut local = HashMap::with_capacity(k);
+    for (i, &s) in comp.iter().enumerate() {
+        local.insert(s, i);
+    }
+    // Rows 0..k-1: (P^T − I) π = 0, last row replaced by Σπ = 1.
+    let w = k + 1;
+    let mut a = vec![0.0f64; k * w];
+    for (i, &s) in comp.iter().enumerate() {
+        for &(t, p, _) in &chain.transitions[s] {
+            let j = local[&t];
+            a[j * w + i] += p;
+        }
+    }
+    for d in 0..k {
+        a[d * w + d] -= 1.0;
+    }
+    for c in 0..k {
+        a[(k - 1) * w + c] = 1.0;
+    }
+    a[(k - 1) * w + k] = 1.0;
+
+    gaussian_solve(&mut a, k);
+    let pi: Vec<f64> = (0..k).map(|i| a[i * w + k]).collect();
+
+    let mut theta = 0.0;
+    for (i, &s) in comp.iter().enumerate() {
+        let expected_reward: f64 = chain.transitions[s].iter().map(|&(_, p, r)| p * r).sum();
+        theta += pi[i] * expected_reward;
+    }
+    theta
+}
+
+/// In-place Gauss–Jordan with partial pivoting on a `k × (k+1)` augmented
+/// system; the solution lands in the last column.
+fn gaussian_solve(a: &mut [f64], k: usize) {
+    let w = k + 1;
+    for col in 0..k {
+        let mut best = col;
+        for r in col + 1..k {
+            if a[r * w + col].abs() > a[best * w + col].abs() {
+                best = r;
+            }
+        }
+        if best != col {
+            for c in 0..w {
+                a.swap(col * w + c, best * w + c);
+            }
+        }
+        let pivot = a[col * w + col];
+        if pivot.abs() < 1e-12 {
+            continue; // singular direction; the normalisation row disambiguates
+        }
+        for r in 0..k {
+            if r != col {
+                let f = a[r * w + col] / pivot;
+                if f != 0.0 {
+                    for c in col..w {
+                        a[r * w + c] -= f * a[col * w + c];
+                    }
+                }
+            }
+        }
+        let inv = 1.0 / pivot;
+        for c in col..w {
+            a[col * w + c] *= inv;
+        }
+    }
+}
+
+/// Cesàro-averaged distribution iteration; `None` if averages never
+/// settle.
+fn power_iteration(chain: &Chain) -> Option<f64> {
+    let n = chain.transitions.len();
+    let mut dist = vec![0.0f64; n];
+    dist[0] = 1.0;
+    let mut next = vec![0.0f64; n];
+    let mut avg_prev = f64::NAN;
+    let mut cum_reward = 0.0;
+    let max_iters = 400_000usize;
+    for it in 1..=max_iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut step_reward = 0.0;
+        for (s, d) in dist.iter().enumerate() {
+            if *d == 0.0 {
+                continue;
+            }
+            for &(t, p, r) in &chain.transitions[s] {
+                next[t] += d * p;
+                step_reward += d * p * r;
+            }
+        }
+        std::mem::swap(&mut dist, &mut next);
+        cum_reward += step_reward;
+        if it % 1_000 == 0 {
+            let avg = cum_reward / it as f64;
+            if (avg - avg_prev).abs() < 1e-7 {
+                return Some(avg);
+            }
+            avg_prev = avg;
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan SCC on the transition graph.
+fn tarjan(transitions: &[Vec<(usize, f64, f64)>]) -> Vec<Vec<usize>> {
+    let n = transitions.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            if *ei < transitions[v].len() {
+                let w = transitions[v][*ei].0;
+                *ei += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_rrg::figures;
+
+    #[test]
+    fn figure_2_closed_form_is_exact() {
+        for &alpha in &[0.25, 0.5, 0.75, 0.9] {
+            let r = exact_throughput(&figures::figure_2(alpha)).unwrap();
+            let exact = figures::figure_2_throughput(alpha);
+            assert!(
+                (r.throughput - exact).abs() < 1e-9,
+                "α={alpha}: Markov {} vs closed form {exact} ({} states)",
+                r.throughput,
+                r.states
+            );
+            assert!(r.exact);
+        }
+    }
+
+    #[test]
+    fn figure_1b_matches_paper_values() {
+        // §1.4: Θ = 0.491 at α = 0.5 and Θ = 0.719 at α = 0.9. The exact
+        // chain gives 0.49180… and 0.71875: the paper truncated (not
+        // rounded) the first value to three decimals.
+        let r05 = exact_throughput(&figures::figure_1b(0.5)).unwrap();
+        assert!(
+            (r05.throughput - 0.4918).abs() < 1e-3,
+            "Θ(0.5) = {}",
+            r05.throughput
+        );
+        let r09 = exact_throughput(&figures::figure_1b(0.9)).unwrap();
+        assert!(
+            (r09.throughput - 0.719).abs() < 5e-4,
+            "Θ(0.9) = {}",
+            r09.throughput
+        );
+    }
+
+    #[test]
+    fn figure_1a_is_deterministic_rate_one() {
+        let r = exact_throughput(&figures::figure_1a(0.5)).unwrap();
+        assert!((r.throughput - 1.0).abs() < 1e-9, "Θ = {}", r.throughput);
+    }
+
+    #[test]
+    fn late_evaluation_is_exact_min_cycle_ratio() {
+        let g = figures::figure_1b(0.5).with_late_evaluation();
+        let r = exact_throughput(&g).unwrap();
+        assert!(
+            (r.throughput - 1.0 / 3.0).abs() < 1e-9,
+            "Θ = {}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let params = MarkovParams {
+            max_states: 3,
+            ..Default::default()
+        };
+        let err = exact_throughput_with(&figures::figure_1b(0.5), &params).unwrap_err();
+        assert!(matches!(err, MarkovError::StateSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn throughput_agrees_with_machine_simulation() {
+        let g = figures::figure_1b(0.7);
+        let exact = exact_throughput(&g).unwrap().throughput;
+        let sim = rr_elastic::simulate(&g, &rr_elastic::MachineParams::default())
+            .unwrap()
+            .throughput;
+        assert!((exact - sim).abs() < 0.01, "exact {exact} vs sim {sim}");
+    }
+
+    #[test]
+    fn bounded_capacity_chain_solves_too() {
+        let g = figures::figure_1b(0.5);
+        let params = MarkovParams {
+            capacity: Capacity::PerBuffer(2),
+            ..Default::default()
+        };
+        let bounded = exact_throughput_with(&g, &params).unwrap();
+        let unbounded = exact_throughput(&g).unwrap();
+        assert!(bounded.throughput <= unbounded.throughput + 1e-9);
+        assert!(bounded.throughput > 0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Branch & bound for mixed-integer models.
+//!
+//! Depth-first search over bound tightenings with:
+//!
+//! * LP-relaxation pruning (a node whose relaxation cannot beat the
+//!   incumbent is cut),
+//! * most-fractional branching, exploring the nearer side first,
+//! * a **round-and-fix heuristic** (round all integer variables of a
+//!   relaxation, fix them, re-solve the LP for the continuous variables) to
+//!   obtain early incumbents — this is what makes the near-integral
+//!   retiming relaxations solve in a handful of nodes,
+//! * node and wall-clock limits that return the best incumbent with
+//!   [`Status::Feasible`] instead of failing.
+
+use std::time::Instant;
+
+use crate::expr::VarId;
+use crate::model::{Model, Sense, SolverOptions};
+use crate::solution::{Solution, SolveError, Status};
+
+/// Search statistics of the last branch-and-bound run (diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BranchBoundStats {
+    /// LP relaxations solved (nodes explored).
+    pub nodes: usize,
+    /// Incumbents found.
+    pub incumbents: usize,
+    /// True when a limit (nodes or time) stopped the search.
+    pub truncated: bool,
+    /// Objective of the root LP relaxation.
+    pub root_bound: f64,
+}
+
+struct Search<'a> {
+    model: Model,
+    opts: &'a SolverOptions,
+    sense_mul: f64,
+    start: Instant,
+    best: Option<Solution>,
+    stats: BranchBoundStats,
+    int_vars: Vec<VarId>,
+    stopped: bool,
+}
+
+impl Search<'_> {
+    fn out_of_budget(&self) -> bool {
+        if self.stats.nodes >= self.opts.max_nodes {
+            return true;
+        }
+        if let Some(limit) = self.opts.time_limit {
+            if self.start.elapsed() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Signed objective for pruning comparisons (always "minimize").
+    fn signed(&self, obj: f64) -> f64 {
+        self.sense_mul * obj
+    }
+
+    /// Picks the branching variable: highest priority class first, most
+    /// fractional within it; `None` when the point is integral.
+    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
+        let mut best: Option<(VarId, f64)> = None;
+        let mut best_key = (i32::MIN, self.opts.int_tol);
+        for &v in &self.int_vars {
+            let val = sol.value(v);
+            let frac = (val - val.round()).abs();
+            if frac <= self.opts.int_tol {
+                continue;
+            }
+            let key = (self.model.var(v).priority(), frac);
+            if key > best_key {
+                best_key = key;
+                best = Some((v, val));
+            }
+        }
+        best
+    }
+
+    /// Relative gap of the incumbent against the root LP bound; once it
+    /// is within `gap_tol` the search stops (the root bound is the
+    /// weakest valid bound, so this is conservative).
+    fn within_gap(&self) -> bool {
+        let Some(best) = &self.best else { return false };
+        if self.stats.nodes == 0 {
+            return false;
+        }
+        let bound = self.signed(self.stats.root_bound);
+        let inc = self.signed(best.objective);
+        inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
+    }
+
+    /// Accepts `sol` as an incumbent if it improves on the current best.
+    /// Integer values are snapped and the continuous part re-solved so the
+    /// stored solution is exactly integral.
+    fn offer_incumbent(&mut self, sol: &Solution) {
+        let mut fixed = self.model.clone();
+        for &v in &self.int_vars {
+            let val = sol.value(v).round();
+            let var = fixed.var(v);
+            let val = val.clamp(var.lower(), var.upper());
+            fixed.fix_var(v, val);
+        }
+        let Ok(clean) = fixed.solve_relaxation(self.opts) else {
+            return;
+        };
+        let better = match &self.best {
+            None => true,
+            Some(b) => self.signed(clean.objective) < self.signed(b.objective) - 1e-9,
+        };
+        if better {
+            self.stats.incumbents += 1;
+            self.best = Some(clean);
+        }
+    }
+
+    /// Round-and-fix heuristic from a fractional relaxation.
+    fn rounding_heuristic(&mut self, sol: &Solution) {
+        self.offer_incumbent(sol);
+    }
+
+    fn dfs(&mut self, depth: usize) -> Result<(), SolveError> {
+        if self.stopped {
+            return Ok(());
+        }
+        if self.out_of_budget() {
+            self.stopped = true;
+            self.stats.truncated = true;
+            return Ok(());
+        }
+        self.stats.nodes += 1;
+        let relax = match self.model.solve_relaxation(self.opts) {
+            Ok(sol) => sol,
+            Err(SolveError::Infeasible) => return Ok(()),
+            Err(SolveError::IterationLimit) => {
+                // The node LP ran out of pivots; we cannot bound this
+                // subtree, so prune it and mark the search truncated (the
+                // incumbent — possibly the warm start — survives).
+                self.stats.truncated = true;
+                return Ok(());
+            }
+            // Bound tightenings cannot make a bounded LP unbounded, but a
+            // free-integer model may genuinely be unbounded at the root.
+            Err(e) => return Err(e),
+        };
+        if depth == 0 {
+            self.stats.root_bound = relax.objective;
+        }
+        if let Some(best) = &self.best {
+            if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
+                return Ok(()); // cannot beat the incumbent
+            }
+        }
+        let Some((var, val)) = self.most_fractional(&relax) else {
+            self.offer_incumbent(&relax);
+            return Ok(());
+        };
+
+        if self.opts.rounding_heuristic && (depth == 0 || depth % 8 == 0) {
+            self.rounding_heuristic(&relax);
+        }
+        if self.within_gap() {
+            self.stopped = true;
+            return Ok(());
+        }
+
+        let floor = val.floor();
+        let ceil = val.ceil();
+        // Nearer side first.
+        let down_first = val - floor <= ceil - val;
+        let sides: [(f64, bool); 2] = if down_first {
+            [(floor, true), (ceil, false)]
+        } else {
+            [(ceil, false), (floor, true)]
+        };
+        for (bound, is_upper) in sides {
+            let saved = (self.model.var(var).lower(), self.model.var(var).upper());
+            if is_upper {
+                self.model.tighten_upper(var, bound);
+            } else {
+                self.model.tighten_lower(var, bound);
+            }
+            if self.model.var(var).lower() <= self.model.var(var).upper() {
+                self.dfs(depth + 1)?;
+            }
+            let v = &mut self.model.vars[var.index()];
+            v.lower = saved.0;
+            v.upper = saved.1;
+            if self.stopped {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves a mixed-integer model; see [`Model::solve_with`] and
+/// [`Model::solve_with_hint`].
+pub(crate) fn solve(
+    model: &Model,
+    opts: &SolverOptions,
+    hint: &[(VarId, f64)],
+) -> Result<Solution, SolveError> {
+    let (sol, _stats) = solve_with_stats_hinted(model, opts, hint)?;
+    Ok(sol)
+}
+
+/// Like [`Model::solve_with`] but also returns search statistics.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when no integral point exists,
+/// [`SolveError::Unbounded`] when the relaxation is unbounded, and
+/// [`SolveError::IterationLimit`] when limits stopped the search before any
+/// incumbent was found.
+pub fn solve_with_stats(
+    model: &Model,
+    opts: &SolverOptions,
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    solve_with_stats_hinted(model, opts, &[])
+}
+
+/// [`solve_with_stats`] with a warm-start hint for the integer variables.
+///
+/// # Errors
+///
+/// See [`solve_with_stats`].
+pub fn solve_with_stats_hinted(
+    model: &Model,
+    opts: &SolverOptions,
+    hint: &[(VarId, f64)],
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let int_vars: Vec<VarId> = model
+        .vars()
+        .filter(|(_, v)| v.is_integer())
+        .map(|(id, _)| id)
+        .collect();
+    let mut search = Search {
+        model: model.clone(),
+        opts,
+        sense_mul: match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        },
+        start: Instant::now(),
+        best: None,
+        stats: BranchBoundStats::default(),
+        int_vars,
+        stopped: false,
+    };
+    // Warm start: fix the hinted integers, re-solve the continuous part,
+    // and install the result as the first incumbent if feasible.
+    if !hint.is_empty() {
+        let mut fixed = search.model.clone();
+        for &(v, val) in hint {
+            if fixed.var(v).is_integer() {
+                let val = val.round().clamp(fixed.var(v).lower(), fixed.var(v).upper());
+                fixed.fix_var(v, val);
+            }
+        }
+        if let Ok(sol) = fixed.solve_relaxation(opts) {
+            // Only accept if truly integral on all integer vars (hinted
+            // or not).
+            let integral = search.int_vars.iter().all(|&v| {
+                let x = sol.value(v);
+                (x - x.round()).abs() <= opts.int_tol
+            });
+            if integral {
+                search.stats.incumbents += 1;
+                search.best = Some(sol);
+            }
+        }
+    }
+    search.dfs(0)?;
+    let truncated = search.stats.truncated;
+    let stats = search.stats;
+    match search.best {
+        Some(mut sol) => {
+            sol.status = if truncated {
+                Status::Feasible
+            } else {
+                Status::Optimal
+            };
+            Ok((sol, stats))
+        }
+        None if truncated => Err(SolveError::IterationLimit),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{cmp, Model, Sense};
+    use crate::LinExpr;
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary → a=0,b=1,c=1 (20)
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_integer("a", 0.0, 1.0);
+        let b = m.add_integer("b", 0.0, 1.0);
+        let c = m.add_integer("c", 0.0, 1.0);
+        m.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
+        m.add_constraint(3.0 * a + 4.0 * b + 2.0 * c, cmp::LE, 6.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 20.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert_eq!(sol.int_value(a), 0);
+        assert_eq!(sol.int_value(b), 1);
+        assert_eq!(sol.int_value(c), 1);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_assumed() {
+        // LP optimum fractional; integer optimum differs from naive rounding.
+        // max y s.t. -x + y <= 0.5, x + y <= 3.5, 0<=x<=3 int, y int
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer("x", 0.0, 3.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.set_objective(LinExpr::var(y));
+        m.add_constraint(-1.0 * x + y, cmp::LE, 0.5);
+        m.add_constraint(x + y, cmp::LE, 3.5);
+        let sol = m.solve().unwrap();
+        // y <= min(x + 0.5, 3.5 - x); best integer: x=1,y=1 or x=2,y=1 → y=1
+        assert_eq!(sol.int_value(y), 1);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 2x + y s.t. x + y >= 3.3, x int >= 0, y cont >= 0 → x=0? no:
+        // x=0 → y=3.3 cost 3.3; x=1 → y=2.3 cost 4.3. Optimal x=0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer("x", 0.0, 100.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(2.0 * x + y);
+        m.add_constraint(x + y, cmp::GE, 3.3);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.int_value(x), 0);
+        assert!((sol[y] - 3.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x == 3 has no integer solution.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(2.0 * x, cmp::EQ, 3.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn negative_integer_ranges() {
+        // min x s.t. x >= -2.5, x integer in [-10, 10] → x = -2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer("x", -10.0, 10.0);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(LinExpr::var(x), cmp::GE, -2.5);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.int_value(x), -2);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_limit() {
+        // A model where optimality needs some search; a 1-node budget must
+        // either produce an incumbent (Feasible) or IterationLimit.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0)).collect();
+        let mut obj = LinExpr::new();
+        let mut row = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj += ((i % 3 + 1) as f64) * v;
+            row += ((i % 5 + 1) as f64) * v;
+        }
+        m.set_objective(obj);
+        m.add_constraint(row, cmp::LE, 7.5);
+        let opts = SolverOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        match m.solve_with(&opts) {
+            Ok(sol) => assert_eq!(sol.status, Status::Feasible),
+            Err(e) => assert_eq!(e, SolveError::IterationLimit),
+        }
+    }
+
+    #[test]
+    fn stats_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_integer("a", 0.0, 5.0);
+        let b = m.add_integer("b", 0.0, 5.0);
+        m.set_objective(3.0 * a + 2.0 * b);
+        m.add_constraint(2.0 * a + 3.0 * b, cmp::LE, 11.5);
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        assert!(stats.nodes >= 1);
+        assert!(!stats.truncated);
+        // Root LP bound is at least as good as the integer optimum.
+        assert!(stats.root_bound >= sol.objective - 1e-9);
+    }
+
+    #[test]
+    fn assignment_lp_is_integral_and_fast() {
+        // 3x3 assignment problem: totally unimodular, so the relaxation is
+        // already integral and B&B should finish at the root.
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut x = vec![];
+        for i in 0..3 {
+            let mut row = vec![];
+            for j in 0..3 {
+                row.push(m.add_integer(format!("x{i}{j}"), 0.0, 1.0));
+            }
+            x.push(row);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj += cost[i][j] * x[i][j];
+            }
+        }
+        m.set_objective(obj);
+        for i in 0..3 {
+            let mut r = LinExpr::new();
+            let mut c = LinExpr::new();
+            for j in 0..3 {
+                r += LinExpr::var(x[i][j]);
+                c += LinExpr::var(x[j][i]);
+            }
+            m.add_constraint(r, cmp::EQ, 1.0);
+            m.add_constraint(c, cmp::EQ, 1.0);
+        }
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        // Optimal assignment cost: 2 + 4 + 6 = 12 (several optima).
+        assert!((sol.objective - 12.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(stats.nodes <= 3, "took {} nodes", stats.nodes);
+    }
+}

@@ -1,0 +1,52 @@
+//! A self-contained linear-programming and mixed-integer-linear-programming
+//! solver.
+//!
+//! The DAC'09 paper "Retiming and recycling for elastic systems with early
+//! evaluation" solves its `MIN_CYC` / `MAX_THR` formulations with CPLEX.
+//! No external solver is available to this reproduction, so this crate
+//! implements the required machinery from scratch:
+//!
+//! * a [`Model`] builder with named, bounded, continuous or integer
+//!   [`variables`](Model::add_var) and linear [`constraints`](Model::add_constraint),
+//! * a dense **two-phase primal simplex** for the LP relaxation,
+//! * a **branch & bound** driver with a rounding heuristic for integer
+//!   programs (see [`solve_with_stats`]),
+//! * time / node limits mirroring the 20-minute CPLEX timeout used in the
+//!   paper ([`SolverOptions`]).
+//!
+//! The solver is deliberately dense and exact-arithmetic-free: the
+//! retiming/recycling MILPs it targets have at most a few thousand rows and
+//! very well-conditioned {-1, 0, 1, τ*} coefficient structure, for which a
+//! tolerance-based dense simplex is plenty.
+//!
+//! # Example
+//!
+//! ```
+//! use rr_milp::{Model, Sense, cmp};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2.5, x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, 2.5, false);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, false);
+//! m.set_objective(3.0 * x + 2.0 * y);
+//! m.add_constraint(x + y, cmp::LE, 4.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective - 10.5).abs() < 1e-6);
+//! assert!((sol[x] - 2.5).abs() < 1e-6);
+//! # Ok::<(), rr_milp::SolveError>(())
+//! ```
+
+mod branch_bound;
+mod expr;
+mod model;
+mod simplex;
+mod solution;
+mod standard;
+
+pub use branch_bound::{solve_with_stats, solve_with_stats_hinted, BranchBoundStats};
+pub use expr::{LinExpr, VarId};
+pub use model::{cmp, CmpOp, Constraint, Model, Sense, SolverOptions, Variable};
+pub use solution::{Solution, SolveError, Status};
+
+#[cfg(test)]
+mod proptests;

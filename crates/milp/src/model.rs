@@ -1,0 +1,444 @@
+//! Model builder: variables, constraints, objective, solver entry points.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::branch_bound;
+use crate::expr::{LinExpr, VarId};
+use crate::simplex;
+use crate::solution::{Solution, SolveError, Status};
+use crate::standard::StandardForm;
+
+/// Optimization direction of the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+        })
+    }
+}
+
+/// Short aliases so constraint sites read close to the paper's notation.
+pub mod cmp {
+    pub use super::CmpOp;
+    /// `expr <= rhs`
+    pub const LE: CmpOp = CmpOp::Le;
+    /// `expr >= rhs`
+    pub const GE: CmpOp = CmpOp::Ge;
+    /// `expr == rhs`
+    pub const EQ: CmpOp = CmpOp::Eq;
+}
+
+/// A decision variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) integer: bool,
+    pub(crate) priority: i32,
+}
+
+impl Variable {
+    /// Variable name as given at creation.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Lower bound (may be `-inf`).
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+    /// Upper bound (may be `+inf`).
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+    /// Whether the variable is required to be integral.
+    pub fn is_integer(&self) -> bool {
+        self.integer
+    }
+    /// Branching priority (higher branches first; default 0).
+    pub fn priority(&self) -> i32 {
+        self.priority
+    }
+}
+
+/// A linear constraint `expr op rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) op: CmpOp,
+    pub(crate) rhs: f64,
+}
+
+impl Constraint {
+    /// Left-hand-side expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+    /// Comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+    /// Right-hand-side constant.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Signed violation of the constraint under `values` (0 if satisfied).
+    pub fn violation(&self, values: &[f64]) -> f64 {
+        let lhs = self.expr.eval(values);
+        match self.op {
+            CmpOp::Le => (lhs - self.rhs).max(0.0),
+            CmpOp::Ge => (self.rhs - lhs).max(0.0),
+            CmpOp::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+}
+
+/// Resource limits and tolerances for the solver.
+///
+/// The defaults match what the reproduction harness needs; the paper used a
+/// 20-minute CPLEX timeout, which callers can mirror with
+/// [`SolverOptions::time_limit`].
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Maximum branch-and-bound nodes before returning the incumbent.
+    pub max_nodes: usize,
+    /// Wall-clock limit for the whole solve (LP phases included).
+    pub time_limit: Option<Duration>,
+    /// Absolute integrality tolerance.
+    pub int_tol: f64,
+    /// Feasibility / pivot tolerance of the simplex.
+    pub feas_tol: f64,
+    /// Maximum simplex iterations per LP solve.
+    pub max_pivots: usize,
+    /// Try the round-and-fix heuristic at the root node.
+    pub rounding_heuristic: bool,
+    /// Stop as soon as an incumbent is within `gap_tol` (relative) of the
+    /// best LP bound.
+    pub gap_tol: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_nodes: 20_000,
+            time_limit: None,
+            int_tol: 1e-6,
+            feas_tol: 1e-7,
+            // Degenerate phase-1 bases of the retiming MILPs can stall
+            // the Dantzig/Bland alternation for a long time; give each LP
+            // a generous pivot budget (pivots are cheap, restarts are
+            // not).
+            max_pivots: 2_000_000,
+            rounding_heuristic: true,
+            gap_tol: 1e-9,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options with a wall-clock budget, keeping other defaults.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        SolverOptions {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+}
+
+/// A mixed-integer linear program.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) objective: LinExpr,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            objective: LinExpr::new(),
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a variable and returns its id.
+    ///
+    /// `lower`/`upper` may be infinite. `integer` requests integrality
+    /// (enforced by branch & bound in [`Model::solve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, integer: bool) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            integer,
+            priority: 0,
+        });
+        id
+    }
+
+    /// Sets the branching priority of a variable (higher branches first).
+    pub fn set_priority(&mut self, v: VarId, priority: i32) {
+        self.vars[v.0].priority = priority;
+    }
+
+    /// Adds a continuous variable (shorthand for [`Model::add_var`]).
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, lower, upper, false)
+    }
+
+    /// Adds an integer variable (shorthand for [`Model::add_var`]).
+    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, lower, upper, true)
+    }
+
+    /// Adds a free continuous variable (`-inf, +inf`).
+    pub fn add_free(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, f64::NEG_INFINITY, f64::INFINITY, false)
+    }
+
+    /// Sets the objective expression (its constant part is carried through
+    /// to [`Solution::objective`]).
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        let mut e = expr.into();
+        e.compact();
+        self.objective = e;
+    }
+
+    /// Adds the constraint `expr op rhs` and returns its row index.
+    pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, op: CmpOp, rhs: f64) -> usize {
+        let mut e = expr.into();
+        // Fold the expression constant into the right-hand side so the
+        // standard-form conversion only sees homogeneous rows.
+        let rhs = rhs - e.constant_part();
+        e.constant = 0.0;
+        e.compact();
+        debug_assert!(
+            e.iter().all(|(v, _)| v.index() < self.vars.len()),
+            "constraint references a variable from another model"
+        );
+        self.constraints.push(Constraint { expr: e, op, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Fixes a variable to a value by tightening both bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this model.
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        let var = &mut self.vars[v.0];
+        var.lower = value;
+        var.upper = value;
+    }
+
+    /// Tightens the lower bound of `v` to `max(current, bound)`.
+    pub fn tighten_lower(&mut self, v: VarId, bound: f64) {
+        let var = &mut self.vars[v.0];
+        var.lower = var.lower.max(bound);
+    }
+
+    /// Tightens the upper bound of `v` to `min(current, bound)`.
+    pub fn tighten_upper(&mut self, v: VarId, bound: f64) {
+        let var = &mut self.vars[v.0];
+        var.upper = var.upper.min(bound);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, v: VarId) -> &Variable {
+        &self.vars[v.0]
+    }
+
+    /// Iterates over all variables with their ids.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars.iter().enumerate().map(|(i, v)| (VarId(i), v))
+    }
+
+    /// Iterates over the constraints.
+    pub fn constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// `true` if any variable is integer.
+    pub fn has_integers(&self) -> bool {
+        self.vars.iter().any(|v| v.integer)
+    }
+
+    /// Checks a candidate assignment against bounds, constraints and
+    /// integrality, returning the largest violation found.
+    pub fn max_violation(&self, values: &[f64], int_tol: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, var) in self.vars.iter().enumerate() {
+            worst = worst.max(var.lower - values[i]).max(values[i] - var.upper);
+            if var.integer {
+                worst = worst.max((values[i] - values[i].round()).abs() - int_tol);
+            }
+        }
+        for c in &self.constraints {
+            worst = worst.max(c.violation(values));
+        }
+        worst
+    }
+
+    /// Solves the model with default [`SolverOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`] / [`SolveError::Unbounded`] for
+    /// the corresponding model pathologies and
+    /// [`SolveError::IterationLimit`] if the pivot budget is exhausted
+    /// without a usable answer.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solves the model with explicit options.
+    ///
+    /// For mixed-integer models the returned solution has status
+    /// [`Status::Optimal`] when branch & bound proved optimality and
+    /// [`Status::Feasible`] when a limit stopped the search with an
+    /// incumbent.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, SolveError> {
+        if self.has_integers() {
+            branch_bound::solve(self, opts, &[])
+        } else {
+            self.solve_relaxation(opts)
+        }
+    }
+
+    /// Like [`Model::solve_with`], seeding branch & bound with a warm
+    /// start: the given integer assignments are fixed and the continuous
+    /// part re-solved to form the first incumbent (ignored when
+    /// infeasible). Pairs for non-integer variables are ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with_hint(
+        &self,
+        opts: &SolverOptions,
+        hint: &[(VarId, f64)],
+    ) -> Result<Solution, SolveError> {
+        if self.has_integers() {
+            branch_bound::solve(self, opts, hint)
+        } else {
+            self.solve_relaxation(opts)
+        }
+    }
+
+    /// Solves the LP relaxation (integrality dropped).
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_relaxation(&self, opts: &SolverOptions) -> Result<Solution, SolveError> {
+        let sf = StandardForm::build(self);
+        let raw = simplex::solve(&sf, opts)?;
+        let values = sf.recover(&raw);
+        let objective = self.objective.eval(&values);
+        Ok(Solution {
+            values,
+            objective,
+            status: Status::Optimal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_constant_is_reported() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 1.0, 10.0);
+        m.set_objective(LinExpr::var(x) + 5.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constraint_constant_folds_into_rhs() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::var(x));
+        // x + 3 <= 5  →  x <= 2
+        m.add_constraint(LinExpr::var(x) + 3.0, cmp::LE, 5.0);
+        let sol = m.solve().unwrap();
+        assert!((sol[x] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper")]
+    fn rejects_crossed_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", 2.0, 1.0, false);
+    }
+
+    #[test]
+    fn max_violation_detects_bound_and_row_violations() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer("x", 0.0, 4.0);
+        m.add_constraint(2.0 * x, cmp::LE, 3.0);
+        // x = 2.5 violates integrality (0.5) and the row (2.0).
+        let viol = m.max_violation(&[2.5], 1e-6);
+        assert!(viol > 1.9, "violation was {viol}");
+    }
+
+    #[test]
+    fn fix_var_pins_value() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.set_objective(LinExpr::var(x));
+        m.fix_var(x, 3.5);
+        let sol = m.solve().unwrap();
+        assert!((sol[x] - 3.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the solver.
+//!
+//! Random LPs/MILPs are generated in a shape where feasibility is
+//! guaranteed by construction (a known feasible point is planted), then the
+//! solver's answers are checked against first principles:
+//!
+//! * returned points satisfy every bound and constraint,
+//! * integer variables are integral,
+//! * the objective is at least as good as the planted point,
+//! * the MILP optimum never beats its own LP relaxation.
+
+use proptest::prelude::*;
+
+use crate::model::{cmp, Model, Sense, SolverOptions};
+use crate::LinExpr;
+
+/// A randomly generated model together with a feasible point.
+#[derive(Debug, Clone)]
+struct PlantedLp {
+    nvars: usize,
+    integers: Vec<bool>,
+    point: Vec<f64>,
+    /// Rows as (coeffs, op_is_le, slack).
+    rows: Vec<(Vec<f64>, bool, f64)>,
+    obj: Vec<f64>,
+    maximize: bool,
+}
+
+impl PlantedLp {
+    fn build(&self) -> (Model, Vec<crate::VarId>) {
+        let sense = if self.maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        };
+        let mut m = Model::new(sense);
+        let vars: Vec<_> = (0..self.nvars)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, 10.0, self.integers[i]))
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, &c) in self.obj.iter().enumerate() {
+            obj += c * vars[i];
+        }
+        m.set_objective(obj);
+        for (coeffs, is_le, slack) in &self.rows {
+            let mut e = LinExpr::new();
+            let mut lhs_at_point = 0.0;
+            for (i, &c) in coeffs.iter().enumerate() {
+                e += c * vars[i];
+                lhs_at_point += c * self.point[i];
+            }
+            // Choose rhs so the planted point is feasible with `slack` room.
+            if *is_le {
+                m.add_constraint(e, cmp::LE, lhs_at_point + slack);
+            } else {
+                m.add_constraint(e, cmp::GE, lhs_at_point - slack);
+            }
+        }
+        (m, vars)
+    }
+}
+
+fn planted_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = PlantedLp> {
+    (2..=max_vars, 1..=max_rows, any::<bool>()).prop_flat_map(move |(nv, nr, maximize)| {
+        let integers = proptest::collection::vec(any::<bool>(), nv);
+        // Plant integer-valued points so they stay feasible when some
+        // variables are declared integral.
+        let point = proptest::collection::vec((0..=6i32).prop_map(|v| v as f64), nv);
+        let row = (
+            proptest::collection::vec(-5..=5i32, nv).prop_map(|v| {
+                v.into_iter().map(|c| c as f64).collect::<Vec<_>>()
+            }),
+            any::<bool>(),
+            (0..=40i32).prop_map(|s| s as f64 / 4.0),
+        );
+        let rows = proptest::collection::vec(row, nr);
+        let obj = proptest::collection::vec(-5..=5i32, nv)
+            .prop_map(|v| v.into_iter().map(|c| c as f64).collect::<Vec<_>>());
+        (integers, point, rows, obj).prop_map(move |(integers, point, rows, obj)| PlantedLp {
+            nvars: nv,
+            integers,
+            point,
+            rows,
+            obj,
+            maximize,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solutions_are_feasible_and_beat_planted_point(lp in planted_lp(6, 5)) {
+        let relaxed = PlantedLp {
+            integers: vec![false; lp.nvars],
+            ..lp.clone()
+        };
+        let (m, _vars) = relaxed.build();
+        let sol = m.solve().expect("planted LP must be feasible");
+        prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5,
+            "violation {}", m.max_violation(sol.values(), 1e-6));
+        let planted_obj: f64 = lp.obj.iter().zip(&lp.point).map(|(c, x)| c * x).sum();
+        if lp.maximize {
+            prop_assert!(sol.objective >= planted_obj - 1e-6);
+        } else {
+            prop_assert!(sol.objective <= planted_obj + 1e-6);
+        }
+    }
+
+    #[test]
+    fn milp_solutions_are_integral_feasible_and_bounded_by_relaxation(lp in planted_lp(5, 4)) {
+        let (m, vars) = lp.build();
+        let opts = SolverOptions { max_nodes: 2_000, ..Default::default() };
+        let sol = m.solve_with(&opts).expect("planted MILP must be feasible");
+        prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5);
+        for (i, &v) in vars.iter().enumerate() {
+            if lp.integers[i] {
+                let x = sol[v];
+                prop_assert!((x - x.round()).abs() < 1e-6, "x{i} = {x} not integral");
+            }
+        }
+        // The MILP optimum can never beat the LP relaxation.
+        let relax = m.solve_relaxation(&opts).unwrap();
+        if lp.maximize {
+            prop_assert!(sol.objective <= relax.objective + 1e-5);
+        } else {
+            prop_assert!(sol.objective >= relax.objective - 1e-5);
+        }
+    }
+}

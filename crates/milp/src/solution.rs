@@ -1,0 +1,103 @@
+//! Solve results and errors.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Index;
+
+use crate::expr::VarId;
+
+/// Quality of a returned solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal (within tolerances).
+    Optimal,
+    /// Feasible incumbent returned because a node/time limit was hit.
+    Feasible,
+}
+
+/// A (mixed-integer) feasible assignment with its objective value.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    /// Objective value in the *original* sense of the model.
+    pub objective: f64,
+    /// Whether optimality was proven.
+    pub status: Status,
+}
+
+impl Solution {
+    /// Value assigned to a variable.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value of an integer variable rounded to the nearest integer.
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Index<VarId> for Solution {
+    type Output = f64;
+    fn index(&self, v: VarId) -> &f64 {
+        &self.values[v.index()]
+    }
+}
+
+/// Errors produced by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The pivot or node budget was exhausted before any feasible point
+    /// was found.
+    IterationLimit,
+    /// Numerical trouble made the result untrustworthy.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => f.write_str("model is infeasible"),
+            SolveError::Unbounded => f.write_str("model is unbounded"),
+            SolveError::IterationLimit => {
+                f.write_str("iteration limit reached before a feasible point was found")
+            }
+            SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase_and_concise() {
+        assert_eq!(SolveError::Infeasible.to_string(), "model is infeasible");
+        assert!(SolveError::Numerical("pivot".into())
+            .to_string()
+            .contains("pivot"));
+    }
+
+    #[test]
+    fn solution_indexing() {
+        let s = Solution {
+            values: vec![1.5, 2.0],
+            objective: 0.0,
+            status: Status::Optimal,
+        };
+        assert_eq!(s[VarId(0)], 1.5);
+        assert_eq!(s.int_value(VarId(1)), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Conversion of a [`Model`] into simplex standard form
+//! `min c·y  s.t.  A·y = b, y >= 0`.
+//!
+//! The conversion handles the four bound shapes a model variable can have:
+//!
+//! | bounds            | substitution        |
+//! |-------------------|---------------------|
+//! | `l <= x <= u`     | `x = l + y`, plus a row `y <= u - l` when `u` is finite |
+//! | `x <= u` (free below) | `x = u - y`     |
+//! | free              | `x = y⁺ - y⁻`       |
+//! | `l == u`          | constant, no column |
+//!
+//! Inequality rows get slack/surplus columns here so the simplex kernel only
+//! ever sees equalities. Rows are equilibrated (scaled by their largest
+//! coefficient) for numerical robustness: the retiming MILPs mix ±1
+//! coefficients with `τ* ≈ Σβ` big-M terms.
+
+use crate::model::{CmpOp, Model, Sense};
+
+/// How an original model variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ColMap {
+    /// `x = lb + y[col]`
+    Shifted { col: usize, lb: f64 },
+    /// `x = ub - y[col]`
+    Mirrored { col: usize, ub: f64 },
+    /// `x = y[pos] - y[neg]`
+    Split { pos: usize, neg: usize },
+    /// `x` is fixed to a constant.
+    Fixed { value: f64 },
+}
+
+/// Kind of auxiliary column appended to a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RowAux {
+    /// `+1` slack (from `<=`).
+    Slack(usize),
+    /// `-1` surplus (from `>=`).
+    Surplus(usize),
+    /// Equality row, no auxiliary column.
+    None,
+}
+
+/// A model in `min c·y, A·y = b, y >= 0` form.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm {
+    /// Total number of columns (structural + slack/surplus).
+    pub ncols: usize,
+    /// Sparse rows over column indices (slack/surplus included).
+    pub rows: Vec<Vec<(usize, f64)>>,
+    pub rhs: Vec<f64>,
+    /// Minimization costs, length `ncols`.
+    pub cost: Vec<f64>,
+    /// Per-model-variable recovery mapping.
+    pub map: Vec<ColMap>,
+    /// Set when the conversion already proves infeasibility (e.g. a
+    /// constant constraint that is violated).
+    pub proven_infeasible: bool,
+}
+
+impl StandardForm {
+    /// Builds the standard form of `model` (its LP relaxation: integrality
+    /// is ignored here).
+    pub fn build(model: &Model) -> StandardForm {
+        let mut ncols = 0usize;
+        let mut map = Vec::with_capacity(model.vars.len());
+        // Extra rows for finite upper bounds of shifted variables.
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+
+        for var in &model.vars {
+            let (l, u) = (var.lower, var.upper);
+            if l == u {
+                map.push(ColMap::Fixed { value: l });
+            } else if l.is_finite() {
+                let col = ncols;
+                ncols += 1;
+                map.push(ColMap::Shifted { col, lb: l });
+                if u.is_finite() {
+                    bound_rows.push((col, u - l));
+                }
+            } else if u.is_finite() {
+                let col = ncols;
+                ncols += 1;
+                map.push(ColMap::Mirrored { col, ub: u });
+            } else {
+                let pos = ncols;
+                let neg = ncols + 1;
+                ncols += 2;
+                map.push(ColMap::Split { pos, neg });
+            }
+        }
+
+        // Objective in minimization form.
+        let sense_mul = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; ncols];
+        for (v, c) in model.objective.iter() {
+            let c = c * sense_mul;
+            match map[v.index()] {
+                ColMap::Shifted { col, .. } => cost[col] += c,
+                ColMap::Mirrored { col, .. } => cost[col] -= c,
+                ColMap::Split { pos, neg } => {
+                    cost[pos] += c;
+                    cost[neg] -= c;
+                }
+                ColMap::Fixed { .. } => {}
+            }
+        }
+
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+        let mut aux: Vec<RowAux> = Vec::new();
+        let mut proven_infeasible = false;
+
+        // Constraint rows.
+        for cstr in &model.constraints {
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(cstr.expr.terms.len() + 1);
+            let mut b = cstr.rhs;
+            for (v, c) in cstr.expr.iter() {
+                match map[v.index()] {
+                    ColMap::Shifted { col, lb } => {
+                        row.push((col, c));
+                        b -= c * lb;
+                    }
+                    ColMap::Mirrored { col, ub } => {
+                        row.push((col, -c));
+                        b -= c * ub;
+                    }
+                    ColMap::Split { pos, neg } => {
+                        row.push((pos, c));
+                        row.push((neg, -c));
+                    }
+                    ColMap::Fixed { value } => b -= c * value,
+                }
+            }
+            merge_row(&mut row);
+            if row.is_empty() {
+                // Constant constraint: check it directly.
+                let ok = match cstr.op {
+                    CmpOp::Le => 0.0 <= b + 1e-9,
+                    CmpOp::Ge => 0.0 >= b - 1e-9,
+                    CmpOp::Eq => b.abs() <= 1e-9,
+                };
+                if !ok {
+                    proven_infeasible = true;
+                }
+                continue;
+            }
+            // Equilibrate.
+            let scale = row
+                .iter()
+                .map(|&(_, c)| c.abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-12);
+            for t in &mut row {
+                t.1 /= scale;
+            }
+            b /= scale;
+            rows.push(row);
+            rhs.push(b);
+            aux.push(match cstr.op {
+                CmpOp::Le => RowAux::Slack(0),
+                CmpOp::Ge => RowAux::Surplus(0),
+                CmpOp::Eq => RowAux::None,
+            });
+        }
+
+        // Upper-bound rows (`y <= u - l`), already scaled (coeff 1).
+        for (col, ub) in bound_rows {
+            rows.push(vec![(col, 1.0)]);
+            rhs.push(ub);
+            aux.push(RowAux::Slack(0));
+        }
+
+        // Assign slack/surplus columns.
+        for (row, a) in rows.iter_mut().zip(aux.iter_mut()) {
+            match a {
+                RowAux::Slack(c) => {
+                    *c = ncols;
+                    row.push((ncols, 1.0));
+                    ncols += 1;
+                }
+                RowAux::Surplus(c) => {
+                    *c = ncols;
+                    row.push((ncols, -1.0));
+                    ncols += 1;
+                }
+                RowAux::None => {}
+            }
+        }
+        cost.resize(ncols, 0.0);
+
+        StandardForm {
+            ncols,
+            rows,
+            rhs,
+            cost,
+            map,
+            proven_infeasible,
+        }
+    }
+
+    /// Maps a standard-form assignment `y` back to model-variable values.
+    pub fn recover(&self, y: &[f64]) -> Vec<f64> {
+        self.map
+            .iter()
+            .map(|m| match *m {
+                ColMap::Shifted { col, lb } => lb + y[col],
+                ColMap::Mirrored { col, ub } => ub - y[col],
+                ColMap::Split { pos, neg } => y[pos] - y[neg],
+                ColMap::Fixed { value } => value,
+            })
+            .collect()
+    }
+}
+
+/// Merges duplicate column indices in a sparse row.
+fn merge_row(row: &mut Vec<(usize, f64)>) {
+    if row.len() <= 1 {
+        row.retain(|&(_, c)| c != 0.0);
+        return;
+    }
+    row.sort_by_key(|&(c, _)| c);
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+    for &(c, v) in row.iter() {
+        match out.last_mut() {
+            Some((lc, lv)) if *lc == c => *lv += v,
+            _ => out.push((c, v)),
+        }
+    }
+    out.retain(|&(_, v)| v.abs() > 0.0);
+    *row = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{cmp, Model, Sense};
+    use crate::LinExpr;
+
+    #[test]
+    fn free_variables_split() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_free("x");
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(LinExpr::var(x), cmp::GE, -3.0);
+        let sf = StandardForm::build(&m);
+        assert!(matches!(sf.map[0], ColMap::Split { .. }));
+        // x >= -3 plus split columns: one row, one surplus column.
+        assert_eq!(sf.rows.len(), 1);
+        assert_eq!(sf.ncols, 3);
+    }
+
+    #[test]
+    fn fixed_variables_get_no_column() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 2.0, 2.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint(x + y, cmp::EQ, 5.0);
+        let sf = StandardForm::build(&m);
+        assert!(matches!(sf.map[0], ColMap::Fixed { value } if value == 2.0));
+        // Row becomes y = 3.
+        assert_eq!(sf.rows.len(), 1);
+        assert!((sf.rhs[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violated_constant_row_is_proven_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 1.0, 1.0);
+        m.add_constraint(LinExpr::var(x), cmp::GE, 2.0);
+        let sf = StandardForm::build(&m);
+        assert!(sf.proven_infeasible);
+    }
+
+    #[test]
+    fn recover_round_trips_shifted_and_mirrored() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_continuous("a", -1.0, 4.0); // shifted
+        let b = m.add_continuous("b", f64::NEG_INFINITY, 7.0); // mirrored
+        let sf = StandardForm::build(&m);
+        let vals = sf.recover(&[0.5, 2.0, /* slack for a's ub row */ 0.0]);
+        assert!((vals[a.index()] - (-0.5)).abs() < 1e-12);
+        assert!((vals[b.index()] - 5.0).abs() < 1e-12);
+    }
+}

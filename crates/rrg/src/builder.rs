@@ -1,0 +1,241 @@
+//! Validating builder for [`Rrg`].
+
+use crate::rrg::{Edge, EdgeId, Node, NodeId, NodeKind, Rrg};
+use crate::validate::{self, ValidateError};
+
+/// Incrementally constructs an [`Rrg`] and validates Definition 2.1's side
+/// conditions on [`build`](RrgBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// use rr_rrg::RrgBuilder;
+///
+/// let mut b = RrgBuilder::new();
+/// let mux = b.add_early("mux", 0.0);
+/// let f = b.add_simple("f", 1.0);
+/// let top = b.add_edge(f, mux, 1, 1);
+/// let bot = b.add_edge(f, mux, 0, 1);
+/// b.add_edge(mux, f, 1, 1);
+/// b.set_gamma(top, 0.7);
+/// b.set_gamma(bot, 0.3);
+/// let rrg = b.build()?;
+/// assert_eq!(rrg.num_early(), 1);
+/// # Ok::<(), rr_rrg::ValidateError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RrgBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl RrgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with an explicit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind, delay: f64) -> NodeId {
+        assert!(delay >= 0.0, "combinational delay must be nonnegative");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            delay,
+        });
+        id
+    }
+
+    /// Adds a simple (late-evaluation) node.
+    pub fn add_simple(&mut self, name: impl Into<String>, delay: f64) -> NodeId {
+        self.add_node(name, NodeKind::Simple, delay)
+    }
+
+    /// Adds an early-evaluation node.
+    pub fn add_early(&mut self, name: impl Into<String>, delay: f64) -> NodeId {
+        self.add_node(name, NodeKind::EarlyEval, delay)
+    }
+
+    /// Adds an edge with `tokens` = R0 and `buffers` = R.
+    ///
+    /// `R ≥ max(R0, 0)` is checked at [`build`](RrgBuilder::build) time so
+    /// intermediate states may be inconsistent.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, tokens: i64, buffers: i64) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            source,
+            target,
+            tokens,
+            buffers,
+            gamma: None,
+        });
+        id
+    }
+
+    /// Sets the guard-selection probability γ of an edge (only meaningful
+    /// for input edges of early-evaluation nodes).
+    pub fn set_gamma(&mut self, edge: EdgeId, gamma: f64) -> &mut Self {
+        self.edges[edge.0].gamma = Some(gamma);
+        self
+    }
+
+    /// Overrides the token count of an edge.
+    pub fn set_tokens(&mut self, edge: EdgeId, tokens: i64) -> &mut Self {
+        self.edges[edge.0].tokens = tokens;
+        self
+    }
+
+    /// Overrides the buffer count of an edge.
+    pub fn set_buffers(&mut self, edge: EdgeId, buffers: i64) -> &mut Self {
+        self.edges[edge.0].buffers = buffers;
+        self
+    }
+
+    /// Current number of nodes added.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current number of edges added.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes construction, validating the RRG invariants.
+    ///
+    /// For early-evaluation nodes whose input γ values are missing, uniform
+    /// probabilities are assigned automatically; partially-assigned γ sets
+    /// are an error.
+    ///
+    /// # Errors
+    ///
+    /// See [`ValidateError`] — `R < max(R0, 0)`, non-normalised γ, dead
+    /// (token-free) cycles, dangling endpoints, etc.
+    pub fn build(self) -> Result<Rrg, ValidateError> {
+        let mut g = Rrg {
+            nodes: self.nodes,
+            edges: self.edges,
+            succ: Vec::new(),
+            pred: Vec::new(),
+        };
+        // Endpoint sanity before adjacency indexing.
+        let n = g.nodes.len();
+        for (i, e) in g.edges.iter().enumerate() {
+            if e.source.0 >= n || e.target.0 >= n {
+                return Err(ValidateError::DanglingEndpoint { edge: EdgeId(i) });
+            }
+        }
+        g.rebuild_adjacency();
+
+        // Default missing γ to uniform on fully-unassigned early nodes.
+        for node in 0..n {
+            let node = NodeId(node);
+            if g.nodes[node.0].kind != NodeKind::EarlyEval {
+                continue;
+            }
+            let ins: Vec<EdgeId> = g.pred[node.0].clone();
+            let assigned = ins.iter().filter(|e| g.edges[e.0].gamma.is_some()).count();
+            if assigned == 0 && !ins.is_empty() {
+                let p = 1.0 / ins.len() as f64;
+                for e in ins {
+                    g.edges[e.0].gamma = Some(p);
+                }
+            }
+        }
+
+        validate::validate(&g)?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_graph() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 1, 1);
+        b.add_edge(c, a, 0, 0);
+        assert_eq!(b.num_nodes(), 2);
+        assert_eq!(b.num_edges(), 2);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_buffers_below_tokens() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 2, 1); // R < R0
+        b.add_edge(c, a, 0, 0);
+        assert!(matches!(
+            b.build(),
+            Err(ValidateError::BuffersBelowTokens { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dead_cycle() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 0, 1);
+        b.add_edge(c, a, 0, 1);
+        assert!(matches!(b.build(), Err(ValidateError::DeadCycle { .. })));
+    }
+
+    #[test]
+    fn uniform_gamma_defaulting() {
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        b.add_edge(f, m, 1, 1);
+        b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        let g = b.build().unwrap();
+        let probs: Vec<f64> = g
+            .in_edges(m)
+            .iter()
+            .map(|&e| g.edge(e).gamma().unwrap())
+            .collect();
+        assert_eq!(probs, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn partially_assigned_gamma_is_an_error() {
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        let top = b.add_edge(f, m, 1, 1);
+        b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        b.set_gamma(top, 0.5);
+        assert!(matches!(
+            b.build(),
+            Err(ValidateError::MissingGamma { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_tokens_need_no_buffers() {
+        // Anti-tokens may sit on a bufferless channel (Figure 2's mux
+        // bypass has R0 = -2, R = 0).
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        let e1 = b.add_edge(f, m, -2, 0);
+        let e2 = b.add_edge(f, m, 4, 4);
+        // Three tokens m→f keep both cycles live (-2+3 = 1 > 0).
+        b.add_edge(m, f, 3, 3);
+        b.set_gamma(e1, 0.5).set_gamma(e2, 0.5);
+        assert!(b.build().is_ok());
+    }
+}

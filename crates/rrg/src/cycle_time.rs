@@ -1,0 +1,200 @@
+//! Cycle time of an RRG (Definitions 2.2–2.3): the maximum delay over all
+//! combinational paths, i.e. paths whose edges carry no elastic buffers.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::algo;
+use crate::rrg::{EdgeId, NodeId, Rrg};
+
+/// Failure to compute a finite cycle time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CycleTimeError {
+    /// The bufferless subgraph contains a directed cycle; every clock
+    /// period is violated. The reported edge lies on such a cycle.
+    CombinationalCycle { edge: EdgeId },
+}
+
+impl fmt::Display for CycleTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleTimeError::CombinationalCycle { edge } => {
+                write!(f, "combinational cycle through edge {edge}")
+            }
+        }
+    }
+}
+
+impl Error for CycleTimeError {}
+
+/// A critical combinational path together with its delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total delay of the path (= the cycle time).
+    pub delay: f64,
+    /// Nodes along the path, in order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Cycle time `τ(RRG)` under the graph's own buffer assignment.
+///
+/// # Errors
+///
+/// [`CycleTimeError::CombinationalCycle`] when some cycle carries no
+/// buffers at all.
+pub fn cycle_time(g: &Rrg) -> Result<f64, CycleTimeError> {
+    let buffers: Vec<i64> = g.edges().map(|(_, e)| e.buffers()).collect();
+    cycle_time_with(g, &buffers)
+}
+
+/// Cycle time under an explicit buffer assignment (`buffers[i]` = number
+/// of EBs on edge `i`), without materialising a new graph. Used by the
+/// optimizer to evaluate candidate configurations.
+///
+/// # Errors
+///
+/// See [`cycle_time`].
+///
+/// # Panics
+///
+/// Panics if `buffers.len() != g.num_edges()`.
+pub fn cycle_time_with(g: &Rrg, buffers: &[i64]) -> Result<f64, CycleTimeError> {
+    Ok(critical_path_with(g, buffers)?.delay)
+}
+
+/// Critical path under the graph's own buffers.
+///
+/// # Errors
+///
+/// See [`cycle_time`].
+pub fn critical_path(g: &Rrg) -> Result<CriticalPath, CycleTimeError> {
+    let buffers: Vec<i64> = g.edges().map(|(_, e)| e.buffers()).collect();
+    critical_path_with(g, &buffers)
+}
+
+/// Critical path under an explicit buffer assignment.
+///
+/// The arrival time of a node is `β(n)` plus the largest arrival among its
+/// bufferless predecessors; the cycle time is the largest arrival overall.
+/// A path's delay includes both endpoints, matching Definition 2.2.
+///
+/// # Errors
+///
+/// See [`cycle_time`].
+///
+/// # Panics
+///
+/// Panics if `buffers.len() != g.num_edges()`.
+pub fn critical_path_with(g: &Rrg, buffers: &[i64]) -> Result<CriticalPath, CycleTimeError> {
+    assert_eq!(buffers.len(), g.num_edges(), "buffer vector length mismatch");
+    let order = algo::combinational_topo_order(g, buffers)
+        .map_err(|edge| CycleTimeError::CombinationalCycle { edge })?;
+
+    let n = g.num_nodes();
+    let mut arrival = vec![0.0f64; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for &v in &order {
+        let mut best = 0.0f64;
+        let mut best_pred = None;
+        for &e in g.in_edges(v) {
+            if buffers[e.index()] == 0 {
+                let u = g.edge(e).source();
+                if arrival[u.0] > best {
+                    best = arrival[u.0];
+                    best_pred = Some(u);
+                }
+            }
+        }
+        arrival[v.0] = best + g.node(v).delay();
+        pred[v.0] = best_pred;
+    }
+
+    let mut end = NodeId(0);
+    let mut delay = 0.0f64;
+    for v in g.node_ids() {
+        if arrival[v.0] > delay {
+            delay = arrival[v.0];
+            end = v;
+        }
+    }
+    if n == 0 {
+        return Ok(CriticalPath {
+            delay: 0.0,
+            nodes: Vec::new(),
+        });
+    }
+    let mut nodes = vec![end];
+    let mut cur = end;
+    while let Some(p) = pred[cur.0] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    Ok(CriticalPath { delay, nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figures, RrgBuilder};
+
+    #[test]
+    fn figure_1a_cycle_time_is_three() {
+        let g = figures::figure_1a(0.5);
+        let cp = critical_path(&g).unwrap();
+        assert_eq!(cp.delay, 3.0);
+        // Critical path visits F1, F2, F3 (plus the zero-delay f and m).
+        let names: Vec<&str> = cp.nodes.iter().map(|&n| g.node(n).name()).collect();
+        assert!(names.windows(3).any(|w| w == ["F1", "F2", "F3"]), "{names:?}");
+    }
+
+    #[test]
+    fn figure_1b_cycle_time_is_one() {
+        let g = figures::figure_1b(0.5);
+        assert_eq!(cycle_time(&g).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn figure_2_cycle_time_is_one() {
+        let g = figures::figure_2(0.5);
+        assert_eq!(cycle_time(&g).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn buffers_break_paths() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 5.0);
+        let c = b.add_simple("c", 7.0);
+        b.add_edge(a, c, 1, 1);
+        b.add_edge(c, a, 1, 1);
+        let g = b.build().unwrap();
+        // Both edges buffered: the longest combinational path is a single
+        // node.
+        assert_eq!(cycle_time(&g).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn alternative_buffer_vector_changes_cycle_time() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 5.0);
+        let c = b.add_simple("c", 7.0);
+        b.add_edge(a, c, 1, 1);
+        b.add_edge(c, a, 0, 0);
+        let g = b.build().unwrap();
+        assert_eq!(cycle_time(&g).unwrap(), 12.0); // path c,a
+        assert_eq!(cycle_time_with(&g, &[1, 1]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn combinational_cycle_is_an_error() {
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 1, 1);
+        b.add_edge(c, a, 0, 0);
+        let g = b.build().unwrap();
+        // Remove the buffer from edge 0 by overriding the buffer vector.
+        let err = cycle_time_with(&g, &[0, 0]).unwrap_err();
+        assert!(matches!(err, CycleTimeError::CombinationalCycle { .. }));
+    }
+}

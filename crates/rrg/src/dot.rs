@@ -1,0 +1,92 @@
+//! Graphviz (DOT) export of RRGs, drawing edges in the paper's visual
+//! language: one box per elastic buffer, a dot for each token, and a
+//! rhombus with a count for anti-tokens.
+
+use std::fmt::Write as _;
+
+use crate::rrg::{NodeKind, Rrg};
+
+/// Renders the graph as a `digraph` in DOT syntax.
+///
+/// Early-evaluation nodes are drawn as trapezia (the mux symbol of the
+/// figures), simple nodes as ellipses. Edge labels show `R0/R` plus the
+/// branch probability where present.
+pub fn to_dot(g: &Rrg) -> String {
+    let mut s = String::new();
+    s.push_str("digraph rrg {\n  rankdir=LR;\n");
+    for (id, n) in g.nodes() {
+        let shape = match n.kind() {
+            NodeKind::Simple => "ellipse",
+            NodeKind::EarlyEval => "trapezium",
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\nβ={:.2}\", shape={}];",
+            id.index(),
+            escape(n.name()),
+            n.delay(),
+            shape
+        );
+    }
+    for (_, e) in g.edges() {
+        let mut label = String::new();
+        if e.tokens() < 0 {
+            let _ = write!(label, "◇{}", -e.tokens());
+        } else {
+            for _ in 0..e.tokens() {
+                label.push('●');
+            }
+        }
+        for _ in 0..e.bubbles().max(0) {
+            label.push('□');
+        }
+        if let Some(p) = e.gamma() {
+            let _ = write!(label, " γ={p:.2}");
+        }
+        let _ = writeln!(
+            s,
+            "  {} -> {} [label=\"{}\"];",
+            e.source().index(),
+            e.target().index(),
+            label
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let g = figures::figure_2(0.5);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph rrg {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 5 nodes + 6 edges + header/footer lines.
+        assert_eq!(dot.lines().count(), 2 + 5 + 6 + 1);
+        // Anti-tokens are drawn with the rhombus marker.
+        assert!(dot.contains('◇'), "{dot}");
+        // Probabilities appear.
+        assert!(dot.contains("γ=0.50"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = crate::RrgBuilder::new();
+        let a = b.add_simple("a\"quote", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 1, 1);
+        b.add_edge(c, a, 0, 0);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("a\\\"quote"));
+    }
+}

@@ -1,0 +1,264 @@
+//! A plain-text interchange format for RRGs, so generated benchmark
+//! instances can be stored, diffed and re-run bit-identically (the paper's
+//! random attributes make this essential for reproducibility).
+//!
+//! Format (line-oriented, `#` comments):
+//!
+//! ```text
+//! rrg v1
+//! node <name> <simple|early> <delay>
+//! edge <source-name> <target-name> <tokens> <buffers> [gamma]
+//! ```
+//!
+//! Nodes must be declared before edges referencing them. The parser
+//! validates the result through [`RrgBuilder`], so every loaded graph
+//! satisfies the RRG invariants.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::rrg::{NodeKind, Rrg};
+use crate::validate::ValidateError;
+use crate::RrgBuilder;
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Missing or wrong `rrg v1` header.
+    BadHeader,
+    /// Malformed line, with its 1-based number and a description.
+    BadLine { line: usize, reason: String },
+    /// Edge references an undeclared node.
+    UnknownNode { line: usize, name: String },
+    /// A node name was declared twice.
+    DuplicateNode { line: usize, name: String },
+    /// The parsed graph violates RRG invariants.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => f.write_str("missing `rrg v1` header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node {name}")
+            }
+            ParseError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: duplicate node {name}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Serialises a graph to the text format. Node names are written as-is;
+/// names containing whitespace are rejected by [`from_text`] on the way
+/// back, so prefer simple identifiers.
+pub fn to_text(g: &Rrg) -> String {
+    let mut s = String::from("rrg v1\n");
+    for (_, n) in g.nodes() {
+        let kind = match n.kind() {
+            NodeKind::Simple => "simple",
+            NodeKind::EarlyEval => "early",
+        };
+        let _ = writeln!(s, "node {} {} {}", n.name(), kind, n.delay());
+    }
+    for (_, e) in g.edges() {
+        let src = g.node(e.source()).name();
+        let dst = g.node(e.target()).name();
+        match e.gamma() {
+            Some(p) => {
+                let _ = writeln!(s, "edge {src} {dst} {} {} {p}", e.tokens(), e.buffers());
+            }
+            None => {
+                let _ = writeln!(s, "edge {src} {dst} {} {}", e.tokens(), e.buffers());
+            }
+        }
+    }
+    s
+}
+
+/// Parses the text format back into a validated graph.
+///
+/// # Errors
+///
+/// See [`ParseError`].
+pub fn from_text(text: &str) -> Result<Rrg, ParseError> {
+    let mut lines = text.lines().enumerate();
+    // Header (skipping blank/comment lines).
+    loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+            Some((_, l)) if l.trim() == "rrg v1" => break,
+            _ => return Err(ParseError::BadHeader),
+        }
+    }
+    let mut b = RrgBuilder::new();
+    let mut names: HashMap<String, crate::NodeId> = HashMap::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let (name, kind, delay) = (parts.next(), parts.next(), parts.next());
+                let (Some(name), Some(kind), Some(delay)) = (name, kind, delay) else {
+                    return Err(ParseError::BadLine {
+                        line,
+                        reason: "node needs: name kind delay".into(),
+                    });
+                };
+                let kind = match kind {
+                    "simple" => NodeKind::Simple,
+                    "early" => NodeKind::EarlyEval,
+                    other => {
+                        return Err(ParseError::BadLine {
+                            line,
+                            reason: format!("unknown node kind {other}"),
+                        })
+                    }
+                };
+                let delay: f64 = delay.parse().map_err(|_| ParseError::BadLine {
+                    line,
+                    reason: format!("bad delay {delay}"),
+                })?;
+                if names.contains_key(name) {
+                    return Err(ParseError::DuplicateNode {
+                        line,
+                        name: name.to_string(),
+                    });
+                }
+                let id = b.add_node(name, kind, delay);
+                names.insert(name.to_string(), id);
+            }
+            Some("edge") => {
+                let (src, dst, tokens, buffers) =
+                    (parts.next(), parts.next(), parts.next(), parts.next());
+                let (Some(src), Some(dst), Some(tokens), Some(buffers)) =
+                    (src, dst, tokens, buffers)
+                else {
+                    return Err(ParseError::BadLine {
+                        line,
+                        reason: "edge needs: source target tokens buffers [gamma]".into(),
+                    });
+                };
+                let &su = names.get(src).ok_or_else(|| ParseError::UnknownNode {
+                    line,
+                    name: src.to_string(),
+                })?;
+                let &tu = names.get(dst).ok_or_else(|| ParseError::UnknownNode {
+                    line,
+                    name: dst.to_string(),
+                })?;
+                let tokens: i64 = tokens.parse().map_err(|_| ParseError::BadLine {
+                    line,
+                    reason: format!("bad token count {tokens}"),
+                })?;
+                let buffers: i64 = buffers.parse().map_err(|_| ParseError::BadLine {
+                    line,
+                    reason: format!("bad buffer count {buffers}"),
+                })?;
+                let e = b.add_edge(su, tu, tokens, buffers);
+                if let Some(gamma) = parts.next() {
+                    let gamma: f64 = gamma.parse().map_err(|_| ParseError::BadLine {
+                        line,
+                        reason: format!("bad gamma {gamma}"),
+                    })?;
+                    b.set_gamma(e, gamma);
+                }
+            }
+            Some(other) => {
+                return Err(ParseError::BadLine {
+                    line,
+                    reason: format!("unknown directive {other}"),
+                })
+            }
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+    b.build().map_err(ParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::generate::GeneratorParams;
+
+    #[test]
+    fn round_trips_the_figures() {
+        for g in [figures::figure_1a(0.5), figures::figure_1b(0.9), figures::figure_2(0.25)] {
+            let text = to_text(&g);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back.num_nodes(), g.num_nodes());
+            assert_eq!(back.num_edges(), g.num_edges());
+            for (i, (a, b)) in g.edges().zip(back.edges()).enumerate() {
+                assert_eq!(a.1.tokens(), b.1.tokens(), "edge {i}");
+                assert_eq!(a.1.buffers(), b.1.buffers(), "edge {i}");
+                match (a.1.gamma(), b.1.gamma()) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12),
+                    (None, None) => {}
+                    other => panic!("gamma mismatch on edge {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_generated_graphs() {
+        let g = GeneratorParams::paper_defaults(10, 3, 30).generate(17);
+        let back = from_text(&to_text(&g)).unwrap();
+        assert_eq!(to_text(&back), to_text(&g), "canonical text must be stable");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(from_text("").unwrap_err(), ParseError::BadHeader);
+        assert!(matches!(
+            from_text("rrg v1\nnode a simple not_a_number"),
+            Err(ParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            from_text("rrg v1\nnode a simple 1\nedge a b 0 0"),
+            Err(ParseError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            from_text("rrg v1\nnode a simple 1\nnode a simple 2"),
+            Err(ParseError::DuplicateNode { .. })
+        ));
+        assert!(matches!(
+            from_text("rrg v1\nfrobnicate"),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_graphs_fail_validation() {
+        // Token-free cycle.
+        let text = "rrg v1\nnode a simple 1\nnode b simple 1\nedge a b 0 0\nedge b a 0 0\n";
+        assert!(matches!(from_text(text), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header comment\n\nrrg v1\n# a node\nnode a simple 1\n\nedge a a 1 1\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

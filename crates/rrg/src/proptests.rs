@@ -1,0 +1,96 @@
+//! Property tests for the RRG invariants the rest of the workspace builds
+//! on:
+//!
+//! * generated graphs satisfy their advertised contract,
+//! * retiming preserves the token sum of every directed cycle (checked via
+//!   liveness + the potential-difference test in `Config::validate`),
+//! * recycling (adding bubbles) keeps configurations valid,
+//! * the cycle time never increases when buffers are added.
+
+use proptest::prelude::*;
+
+use crate::config::Config;
+use crate::cycle_time;
+use crate::generate::{check_generated, GeneratorParams};
+
+fn params_strategy() -> impl Strategy<Value = (GeneratorParams, u64)> {
+    (2usize..20, 0usize..5, 0usize..30, any::<u64>()).prop_map(|(ns, ne, extra, seed)| {
+        let n = ns + ne;
+        (
+            GeneratorParams::paper_defaults(ns, ne, n + ne + extra),
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_contract((p, seed) in params_strategy()) {
+        let g = p.generate(seed);
+        prop_assert!(check_generated(&g, &p).is_ok());
+    }
+
+    #[test]
+    fn retiming_preserves_liveness_and_cycle_sums(
+        (p, seed) in params_strategy(),
+        rbits in proptest::collection::vec(-3i64..=3, 64),
+    ) {
+        let g = p.generate(seed);
+        let r: Vec<i64> = (0..g.num_nodes()).map(|i| rbits[i % rbits.len()]).collect();
+        let c = Config::from_retiming(&g, &r);
+        // from_retiming uses minimal buffers; the configuration must be a
+        // valid RC of g (liveness is preserved because cycle sums are).
+        prop_assert!(c.validate(&g).is_ok(), "{:?}", c.validate(&g));
+    }
+
+    #[test]
+    fn recycling_keeps_configs_valid(
+        (p, seed) in params_strategy(),
+        bubbles in proptest::collection::vec(0i64..3, 64),
+    ) {
+        let g = p.generate(seed);
+        let mut c = Config::initial(&g);
+        for (i, &extra) in bubbles.iter().enumerate().take(g.num_edges()) {
+            c.buffers[i] += extra;
+        }
+        prop_assert!(c.validate(&g).is_ok());
+        // Bubble bookkeeping is consistent.
+        let total: i64 = (0..g.num_edges())
+            .map(|i| c.buffers[i] - c.tokens[i].max(0))
+            .sum();
+        prop_assert_eq!(total, c.total_bubbles());
+    }
+
+    #[test]
+    fn adding_buffers_never_increases_cycle_time(
+        (p, seed) in params_strategy(),
+        extra_edge in any::<prop::sample::Index>(),
+    ) {
+        let g = p.generate(seed);
+        let base: Vec<i64> = g.edges().map(|(_, e)| e.buffers()).collect();
+        let tau0 = cycle_time::cycle_time_with(&g, &base).unwrap();
+        let mut more = base.clone();
+        let idx = extra_edge.index(more.len());
+        more[idx] += 1;
+        let tau1 = cycle_time::cycle_time_with(&g, &more).unwrap();
+        prop_assert!(tau1 <= tau0 + 1e-12, "tau grew from {tau0} to {tau1}");
+    }
+
+    #[test]
+    fn critical_path_is_a_real_combinational_path((p, seed) in params_strategy()) {
+        let g = p.generate(seed);
+        let cp = cycle_time::critical_path(&g).unwrap();
+        // Delay equals the sum of the node delays on the reported path.
+        let sum: f64 = cp.nodes.iter().map(|&n| g.node(n).delay()).sum();
+        prop_assert!((sum - cp.delay).abs() < 1e-9);
+        // Consecutive nodes are joined by a bufferless edge.
+        for w in cp.nodes.windows(2) {
+            let ok = g.out_edges(w[0]).iter().any(|&e| {
+                g.edge(e).target() == w[1] && g.edge(e).buffers() == 0
+            });
+            prop_assert!(ok, "no combinational edge between {:?} and {:?}", w[0], w[1]);
+        }
+    }
+}

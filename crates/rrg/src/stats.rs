@@ -1,0 +1,131 @@
+//! Structural statistics of RRGs — used to sanity-check that generated
+//! benchmark instances have the intended character (§5's attribute
+//! distributions) and to describe instances in experiment logs.
+
+use crate::rrg::Rrg;
+
+/// Summary statistics of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RrgStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Early-evaluation node count.
+    pub early_nodes: usize,
+    /// Fraction of edges carrying at least one token.
+    pub token_density: f64,
+    /// Total tokens (anti-tokens negative).
+    pub total_tokens: i64,
+    /// Total elastic buffers.
+    pub total_buffers: i64,
+    /// Mean combinational delay.
+    pub mean_delay: f64,
+    /// Largest combinational delay.
+    pub max_delay: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of self-loops.
+    pub self_loops: usize,
+}
+
+/// Computes [`RrgStats`] for a graph.
+pub fn stats(g: &Rrg) -> RrgStats {
+    let nodes = g.num_nodes();
+    let edges = g.num_edges();
+    let with_tokens = g.edges().filter(|(_, e)| e.tokens() > 0).count();
+    let mean_delay = if nodes == 0 {
+        0.0
+    } else {
+        g.nodes().map(|(_, n)| n.delay()).sum::<f64>() / nodes as f64
+    };
+    RrgStats {
+        nodes,
+        edges,
+        early_nodes: g.num_early(),
+        token_density: if edges == 0 {
+            0.0
+        } else {
+            with_tokens as f64 / edges as f64
+        },
+        total_tokens: g.total_tokens(),
+        total_buffers: g.total_buffers(),
+        mean_delay,
+        max_delay: g.max_delay(),
+        max_in_degree: g.node_ids().map(|n| g.in_edges(n).len()).max().unwrap_or(0),
+        max_out_degree: g.node_ids().map(|n| g.out_edges(n).len()).max().unwrap_or(0),
+        self_loops: g.edges().filter(|(_, e)| e.source() == e.target()).count(),
+    }
+}
+
+impl std::fmt::Display for RrgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|N|={} (|N2|={}), |E|={}, tokens {} in {} EBs (density {:.2}), \
+             β mean {:.2} max {:.2}, deg≤({},{}), self-loops {}",
+            self.nodes,
+            self.early_nodes,
+            self.edges,
+            self.total_tokens,
+            self.total_buffers,
+            self.token_density,
+            self.mean_delay,
+            self.max_delay,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.self_loops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::generate::GeneratorParams;
+
+    #[test]
+    fn figure_2_statistics() {
+        let s = stats(&figures::figure_2(0.5));
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.early_nodes, 1);
+        assert_eq!(s.total_tokens, 2); // 1+1+1+0+1−2
+        assert_eq!(s.total_buffers, 4);
+        assert_eq!(s.max_in_degree, 2); // the mux
+        assert_eq!(s.self_loops, 0);
+        let rendered = s.to_string();
+        assert!(rendered.contains("|N2|=1"));
+    }
+
+    #[test]
+    fn generated_graphs_match_the_recipe() {
+        // Token density should hover near the paper's 0.25 (liveness
+        // fix-up pushes it slightly up on sparse graphs).
+        let p = GeneratorParams::paper_defaults(40, 8, 120);
+        let mut densities = Vec::new();
+        for seed in 0..8 {
+            let s = stats(&p.generate(seed));
+            assert_eq!(s.early_nodes, 8);
+            assert!(s.mean_delay > 5.0 && s.mean_delay < 15.0, "{}", s.mean_delay);
+            densities.push(s.token_density);
+        }
+        let avg: f64 = densities.iter().sum::<f64>() / densities.len() as f64;
+        assert!(
+            (avg - 0.25).abs() < 0.12,
+            "average token density {avg} strays from the paper's 0.25"
+        );
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_defined() {
+        use crate::RrgBuilder;
+        let g = RrgBuilder::new().build().unwrap();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.token_density, 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! RRG well-formedness checks (the side conditions of Definition 2.1).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::algo;
+use crate::rrg::{EdgeId, NodeId, NodeKind, Rrg};
+
+/// Violations of the RRG definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// An edge references a node that does not exist.
+    DanglingEndpoint { edge: EdgeId },
+    /// `R(e) < max(R0(e), 0)`: more tokens than buffers.
+    BuffersBelowTokens { edge: EdgeId, tokens: i64, buffers: i64 },
+    /// Negative buffer count.
+    NegativeBuffers { edge: EdgeId, buffers: i64 },
+    /// A directed cycle whose token sum is ≤ 0 (deadlock).
+    DeadCycle { edges: Vec<EdgeId> },
+    /// γ missing on an input edge of an early-evaluation node while other
+    /// inputs have γ assigned.
+    MissingGamma { node: NodeId, edge: EdgeId },
+    /// γ values of an early node do not sum to 1.
+    GammaNotNormalized { node: NodeId, sum: f64 },
+    /// γ outside (0, 1].
+    GammaOutOfRange { edge: EdgeId, gamma: f64 },
+    /// An early-evaluation node with fewer than two inputs (early
+    /// evaluation is meaningless there).
+    EarlyWithoutChoice { node: NodeId },
+    /// A node delay is negative or NaN.
+    BadDelay { node: NodeId, delay: f64 },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DanglingEndpoint { edge } => {
+                write!(f, "edge {edge} references a missing node")
+            }
+            ValidateError::BuffersBelowTokens { edge, tokens, buffers } => write!(
+                f,
+                "edge {edge} holds {tokens} tokens in only {buffers} buffers"
+            ),
+            ValidateError::NegativeBuffers { edge, buffers } => {
+                write!(f, "edge {edge} has negative buffer count {buffers}")
+            }
+            ValidateError::DeadCycle { edges } => write!(
+                f,
+                "cycle through {} edges carries no tokens and can never fire",
+                edges.len()
+            ),
+            ValidateError::MissingGamma { node, edge } => write!(
+                f,
+                "early node {node} has γ on some inputs but not on edge {edge}"
+            ),
+            ValidateError::GammaNotNormalized { node, sum } => {
+                write!(f, "γ probabilities of node {node} sum to {sum}, not 1")
+            }
+            ValidateError::GammaOutOfRange { edge, gamma } => {
+                write!(f, "γ of edge {edge} is {gamma}, outside (0, 1]")
+            }
+            ValidateError::EarlyWithoutChoice { node } => {
+                write!(f, "early-evaluation node {node} has fewer than two inputs")
+            }
+            ValidateError::BadDelay { node, delay } => {
+                write!(f, "node {node} has invalid delay {delay}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Tolerance for γ normalisation.
+pub const GAMMA_TOL: f64 = 1e-6;
+
+/// Checks all RRG invariants; used by [`RrgBuilder::build`](crate::RrgBuilder::build)
+/// and available for re-validating transformed graphs.
+///
+/// # Errors
+///
+/// The first violation found, see [`ValidateError`].
+pub fn validate(g: &Rrg) -> Result<(), ValidateError> {
+    for (id, n) in g.nodes() {
+        if !(n.delay() >= 0.0) {
+            return Err(ValidateError::BadDelay {
+                node: id,
+                delay: n.delay(),
+            });
+        }
+    }
+    for (id, e) in g.edges() {
+        if e.buffers() < 0 {
+            return Err(ValidateError::NegativeBuffers {
+                edge: id,
+                buffers: e.buffers(),
+            });
+        }
+        if e.buffers() < e.tokens() {
+            return Err(ValidateError::BuffersBelowTokens {
+                edge: id,
+                tokens: e.tokens(),
+                buffers: e.buffers(),
+            });
+        }
+    }
+    for (id, n) in g.nodes() {
+        if n.kind() != NodeKind::EarlyEval {
+            continue;
+        }
+        let ins = g.in_edges(id);
+        if ins.len() < 2 {
+            return Err(ValidateError::EarlyWithoutChoice { node: id });
+        }
+        let mut sum = 0.0;
+        for &e in ins {
+            match g.edge(e).gamma() {
+                None => return Err(ValidateError::MissingGamma { node: id, edge: e }),
+                Some(p) if p <= 0.0 || p > 1.0 + GAMMA_TOL => {
+                    return Err(ValidateError::GammaOutOfRange { edge: e, gamma: p })
+                }
+                Some(p) => sum += p,
+            }
+        }
+        if (sum - 1.0).abs() > GAMMA_TOL {
+            return Err(ValidateError::GammaNotNormalized { node: id, sum });
+        }
+    }
+    if let Some(cycle) = algo::find_dead_cycle(g) {
+        return Err(ValidateError::DeadCycle { edges: cycle });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RrgBuilder;
+
+    #[test]
+    fn early_node_needs_two_inputs() {
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        assert!(matches!(
+            b.build(),
+            Err(ValidateError::EarlyWithoutChoice { .. })
+        ));
+    }
+
+    #[test]
+    fn gamma_must_normalise() {
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        let e1 = b.add_edge(f, m, 1, 1);
+        let e2 = b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        b.set_gamma(e1, 0.6).set_gamma(e2, 0.6);
+        assert!(matches!(
+            b.build(),
+            Err(ValidateError::GammaNotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn gamma_range_enforced() {
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        let e1 = b.add_edge(f, m, 1, 1);
+        let e2 = b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        b.set_gamma(e1, 0.0).set_gamma(e2, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ValidateError::GammaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn anti_token_cycles_must_stay_live() {
+        // Cycle with sum 3 - 4 = -1 is dead even though one edge has many
+        // tokens.
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 1.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 3, 3);
+        b.add_edge(c, a, -4, 0);
+        assert!(matches!(b.build(), Err(ValidateError::DeadCycle { .. })));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = ValidateError::GammaNotNormalized {
+            node: crate::NodeId(3),
+            sum: 1.2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("n3") && msg.contains("1.2"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-validation properties of the throughput machinery:
+//!
+//! * the LP bound really is an upper bound on the simulated throughput,
+//! * for late-evaluation graphs the LP bound equals the exact minimum
+//!   cycle ratio and the simulator converges to it,
+//! * bubble-free graphs run at Θ = 1,
+//! * the throttle keeps the early-evaluation bound at most 1.
+
+use proptest::prelude::*;
+use rr_rrg::generate::GeneratorParams;
+
+use crate::late;
+use crate::lp_bound::throughput_upper_bound;
+use crate::sim::{simulate, SimParams};
+use crate::skeleton::tgmg_of;
+
+fn small_params() -> impl Strategy<Value = (GeneratorParams, u64)> {
+    (2usize..10, 0usize..3, 0usize..12, any::<u64>()).prop_map(|(ns, ne, extra, seed)| {
+        let n = ns + ne;
+        (
+            GeneratorParams::paper_defaults(ns, ne, n + ne + extra),
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lp_bound_dominates_simulation((p, seed) in small_params()) {
+        let g = p.generate(seed);
+        let t = tgmg_of(&g);
+        let bound = throughput_upper_bound(&t).unwrap();
+        let sim = simulate(&t, &SimParams::fast(seed)).unwrap().throughput;
+        // Allow the short-horizon simulator a little measurement noise.
+        prop_assert!(sim <= bound + 0.05, "sim {sim} exceeds bound {bound}");
+        prop_assert!(bound <= 1.0 + 1e-6, "bound {bound} above 1");
+    }
+
+    #[test]
+    fn late_eval_lp_equals_min_cycle_ratio((p, seed) in small_params()) {
+        let g = p.generate(seed).with_late_evaluation();
+        let t = tgmg_of(&g);
+        let bound = throughput_upper_bound(&t).unwrap();
+        let mcr = late::exact_late_throughput(&g);
+        prop_assert!((bound - mcr.min(2.0)).abs() < 1e-5,
+            "LP {bound} vs MCR {mcr}");
+    }
+
+    #[test]
+    fn late_eval_simulation_converges_to_mcr((p, seed) in small_params()) {
+        let g = p.generate(seed).with_late_evaluation();
+        let t = tgmg_of(&g);
+        let mcr = late::exact_late_throughput(&g);
+        let sim = simulate(
+            &t,
+            &SimParams {
+                horizon: 12_000,
+                warmup: 2_000,
+                seed,
+                ..SimParams::default()
+            },
+        )
+        .unwrap()
+        .throughput;
+        prop_assert!((sim - mcr).abs() < 0.05, "sim {sim} vs MCR {mcr}");
+    }
+
+    #[test]
+    fn bubble_free_graphs_run_at_unit_rate((p, seed) in small_params()) {
+        let g = p.generate(seed);
+        // The generator only places tokens inside EBs (no bubbles), so the
+        // initial configuration must run at Θ = 1 regardless of early
+        // marking.
+        let t = tgmg_of(&g);
+        let bound = throughput_upper_bound(&t).unwrap();
+        prop_assert!((bound - 1.0).abs() < 1e-6, "bound {bound}");
+        let sim = simulate(&t, &SimParams::fast(seed)).unwrap().throughput;
+        prop_assert!((sim - 1.0).abs() < 0.05, "sim {sim}");
+    }
+}

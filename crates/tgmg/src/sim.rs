@@ -1,0 +1,358 @@
+//! Discrete-event simulation of TGMGs under infinite-server semantics
+//! (Definition 3.2 plus the timing interpretation of Definition 3.3).
+//!
+//! This is the reproduction's stand-in for the paper's "intensive
+//! simulations" of generated Verilog: by Lemma 3.1 the refined TGMG of an
+//! RRG has exactly the RRG's throughput, so measuring the TGMG measures
+//! the elastic system. (The independent cycle-accurate machine in
+//! `rr-elastic` cross-checks this.)
+//!
+//! Semantics implemented here:
+//!
+//! * **Guard selection** — an early node draws one input edge with
+//!   probability γ and *keeps that selection* until it fires (the select
+//!   token persists until consumed).
+//! * **Enabling** — simple nodes need positive marking on every input;
+//!   early nodes only on the selected input.
+//! * **Firing** — consumes one token from *every* input (non-selected
+//!   inputs may go negative: anti-tokens), produces one token on every
+//!   output after δ(n) time units. Multiple firings may overlap
+//!   (infinite servers).
+//!
+//! Delays must be nonnegative integers (they are: buffer counts and the
+//! unit throttle). Zero-delay cascades terminate because every cycle of a
+//! valid configuration contains a positive-delay node (liveness gives each
+//! RRG cycle a token, hence a buffer, hence an edge-delay ≥ 1).
+
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rr_rrg::NodeKind;
+
+use crate::gmg::Tgmg;
+
+/// How an early node treats its guard selection while the selected input
+/// is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardPolicy {
+    /// The selection persists until the node fires (a select token is
+    /// consumed exactly once per firing).
+    #[default]
+    Persistent,
+    /// A fresh selection is drawn at every time step while the node is
+    /// blocked.
+    ResampleEachCycle,
+}
+
+/// Simulation horizon and measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimParams {
+    /// Total simulated cycles.
+    pub horizon: u64,
+    /// Cycles discarded before measuring (steady-state warm-up).
+    pub warmup: u64,
+    /// RNG seed for guard selection.
+    pub seed: u64,
+    /// Blocked-guard semantics.
+    pub guard_policy: GuardPolicy,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            horizon: 30_000,
+            warmup: 3_000,
+            seed: 0xE1A5_71C5,
+            guard_policy: GuardPolicy::default(),
+        }
+    }
+}
+
+impl SimParams {
+    /// Quick, low-accuracy parameters for property tests.
+    pub fn fast(seed: u64) -> Self {
+        SimParams {
+            horizon: 4_000,
+            warmup: 500,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Measured steady-state throughput of the reference node (node 0;
+    /// all nodes of a live TGMG share the same rate).
+    pub throughput: f64,
+    /// Firings of every node over the whole horizon.
+    pub firings: Vec<u64>,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Delays must be nonnegative integers.
+    NonIntegerDelay { node: usize, delay: f64 },
+    /// No node can ever fire again (dead marking).
+    Deadlock { at_cycle: u64 },
+    /// A zero-delay cascade did not terminate: the graph has a zero-delay
+    /// cycle with positive marking (invalid configuration).
+    ZeroDelayLivelock { at_cycle: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NonIntegerDelay { node, delay } => {
+                write!(f, "node {node} has non-integer delay {delay}")
+            }
+            SimError::Deadlock { at_cycle } => write!(f, "deadlock at cycle {at_cycle}"),
+            SimError::ZeroDelayLivelock { at_cycle } => {
+                write!(f, "zero-delay livelock at cycle {at_cycle}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Runs the simulation and measures the steady-state throughput.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(t: &Tgmg, params: &SimParams) -> Result<SimResult, SimError> {
+    for (i, n) in t.nodes.iter().enumerate() {
+        if n.delay < 0.0 || n.delay.fract() != 0.0 {
+            return Err(SimError::NonIntegerDelay {
+                node: i,
+                delay: n.delay,
+            });
+        }
+    }
+    let delays: Vec<u64> = t.nodes.iter().map(|n| n.delay as u64).collect();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut marking: Vec<i64> = t.initial_marking();
+    let mut firings: Vec<u64> = vec![0; t.num_nodes()];
+    // Pending guard selection per early node: the chosen *input edge*.
+    let mut selection: Vec<Option<usize>> = vec![None; t.num_nodes()];
+    // Completion events: (time, node), min-heap.
+    let mut events: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+
+    let mut warmup_counts: Vec<u64> = vec![0; t.num_nodes()];
+    let mut warmup_time: Option<u64> = None;
+    // Upper bound on firings per instant: every firing consumes a token
+    // from each input; total positive marking bounds the cascade.
+    let cascade_limit: u64 = 1_000 + 4 * t.edges.iter().map(|e| e.marking.unsigned_abs()).sum::<u64>()
+        + 4 * t.num_nodes() as u64;
+
+    let mut now: u64 = 0;
+    loop {
+        // Fire everything enabled at the current instant, cascading
+        // through zero-delay completions.
+        let mut cascade: u64 = 0;
+        loop {
+            let mut fired_any = false;
+            for v in 0..t.num_nodes() {
+                loop {
+                    let enabled = match t.nodes[v].kind {
+                        NodeKind::Simple => {
+                            !t.pred[v].is_empty()
+                                && t.pred[v].iter().all(|&e| marking[e] > 0)
+                        }
+                        NodeKind::EarlyEval => {
+                            let sel = *selection[v].get_or_insert_with(|| {
+                                draw_guard(t, v, &mut rng)
+                            });
+                            marking[sel] > 0
+                        }
+                    };
+                    if !enabled {
+                        break;
+                    }
+                    // Fire v once.
+                    for &e in &t.pred[v] {
+                        marking[e] -= 1;
+                    }
+                    if t.nodes[v].kind == NodeKind::EarlyEval {
+                        selection[v] = None;
+                    }
+                    firings[v] += 1;
+                    fired_any = true;
+                    cascade += 1;
+                    if cascade > cascade_limit {
+                        return Err(SimError::ZeroDelayLivelock { at_cycle: now });
+                    }
+                    if delays[v] == 0 {
+                        for &e in &t.succ[v] {
+                            marking[e] += 1;
+                        }
+                    } else {
+                        events.push(std::cmp::Reverse((now + delays[v], v)));
+                        // This node may still be enabled for another
+                        // concurrent firing; loop again.
+                    }
+                }
+            }
+            if !fired_any {
+                break;
+            }
+        }
+
+        if warmup_time.is_none() && now >= params.warmup {
+            warmup_counts.copy_from_slice(&firings);
+            warmup_time = Some(now);
+        }
+        if params.guard_policy == GuardPolicy::ResampleEachCycle {
+            for s in selection.iter_mut() {
+                *s = None;
+            }
+        }
+        // Advance time to the next completion.
+        let Some(&std::cmp::Reverse((t_next, _))) = events.peek() else {
+            return Err(SimError::Deadlock { at_cycle: now });
+        };
+        if t_next >= params.horizon {
+            break;
+        }
+        now = t_next;
+        while let Some(&std::cmp::Reverse((te, v))) = events.peek() {
+            if te != now {
+                break;
+            }
+            events.pop();
+            for &e in &t.succ[v] {
+                marking[e] += 1;
+            }
+        }
+    }
+
+    let measured_from = warmup_time.unwrap_or(0);
+    let window = (params.horizon - measured_from) as f64;
+    let throughput = (firings[0].saturating_sub(warmup_counts[0])) as f64 / window;
+    Ok(SimResult {
+        throughput,
+        firings,
+        cycles: params.horizon,
+    })
+}
+
+fn draw_guard(t: &Tgmg, v: usize, rng: &mut StdRng) -> usize {
+    let mut x: f64 = rng.random_range(0.0..1.0);
+    let ins = &t.pred[v];
+    for &e in ins {
+        let p = t.edges[e].gamma.expect("early input without γ");
+        if x < p {
+            return e;
+        }
+        x -= p;
+    }
+    *ins.last().expect("early node without inputs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::tgmg_of;
+    use rr_rrg::figures;
+
+    fn measure(g: &rr_rrg::Rrg) -> f64 {
+        simulate(&tgmg_of(g), &SimParams::default())
+            .unwrap()
+            .throughput
+    }
+
+    #[test]
+    fn figure_1a_throughput_is_one() {
+        let th = measure(&figures::figure_1a(0.5));
+        assert!((th - 1.0).abs() < 0.01, "Θ = {th}");
+    }
+
+    #[test]
+    fn figure_1b_late_throughput_is_one_third() {
+        let th = measure(&figures::figure_1b(0.5).with_late_evaluation());
+        assert!((th - 1.0 / 3.0).abs() < 0.01, "Θ = {th}");
+    }
+
+    #[test]
+    fn figure_1b_early_matches_paper_markov_values() {
+        // Paper §1.4: Θ = 0.491 at α = 0.5 and 0.719 at α = 0.9.
+        let th05 = measure(&figures::figure_1b(0.5));
+        assert!((th05 - 0.491).abs() < 0.015, "Θ(0.5) = {th05}");
+        let th09 = measure(&figures::figure_1b(0.9));
+        assert!((th09 - 0.719).abs() < 0.015, "Θ(0.9) = {th09}");
+    }
+
+    #[test]
+    fn figure_2_matches_closed_form() {
+        for &alpha in &[0.3, 0.5, 0.7, 0.9] {
+            let th = measure(&figures::figure_2(alpha));
+            let exact = figures::figure_2_throughput(alpha);
+            assert!(
+                (th - exact).abs() < 0.02,
+                "α={alpha}: Θ = {th}, closed form {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nodes_share_the_rate() {
+        let t = tgmg_of(&figures::figure_2(0.7));
+        let r = simulate(&t, &SimParams::default()).unwrap();
+        // Compare original nodes' firing counts (within warm-up slack).
+        let counts: Vec<u64> = (0..5).map(|i| r.firings[i]).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max - min < 0.05 * max, "{counts:?}");
+    }
+
+    #[test]
+    fn deadlocked_graph_reports_deadlock() {
+        use crate::gmg::{Tgmg, TgmgEdge, TgmgNode};
+        use rr_rrg::NodeKind;
+        // Two nodes in a token-free cycle.
+        let t = Tgmg::new(
+            vec![
+                TgmgNode { name: "a".into(), kind: NodeKind::Simple, delay: 1.0 },
+                TgmgNode { name: "b".into(), kind: NodeKind::Simple, delay: 1.0 },
+            ],
+            vec![
+                TgmgEdge { from: 0, to: 1, marking: 0, gamma: None },
+                TgmgEdge { from: 1, to: 0, marking: 0, gamma: None },
+            ],
+        );
+        assert!(matches!(
+            simulate(&t, &SimParams::fast(1)),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn non_integer_delay_rejected() {
+        use crate::gmg::{Tgmg, TgmgEdge, TgmgNode};
+        use rr_rrg::NodeKind;
+        let t = Tgmg::new(
+            vec![TgmgNode { name: "a".into(), kind: NodeKind::Simple, delay: 0.5 }],
+            vec![TgmgEdge { from: 0, to: 0, marking: 1, gamma: None }],
+        );
+        assert!(matches!(
+            simulate(&t, &SimParams::fast(1)),
+            Err(SimError::NonIntegerDelay { .. })
+        ));
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let t = tgmg_of(&figures::figure_1b(0.6));
+        let a = simulate(&t, &SimParams::default()).unwrap();
+        let b = simulate(&t, &SimParams::default()).unwrap();
+        assert_eq!(a.firings, b.firings);
+    }
+}

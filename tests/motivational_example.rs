@@ -1,0 +1,96 @@
+//! End-to-end integration: the paper's §1 narrative must hold across all
+//! crates at once — retiming baseline, recycling, early evaluation,
+//! anti-tokens, and the optimizer's rediscovery of Figure 2.
+
+use retiming_recycling::prelude::*;
+use rr_core::{min_eff_cyc, CoreOptions};
+use rr_elastic::{simulate, MachineParams};
+use rr_markov::exact_throughput;
+use rr_retime::min_period_retiming;
+use rr_rrg::{cycle_time, figures};
+use rr_tgmg::{lp_bound, sim as tgmg_sim, skeleton::tgmg_of};
+
+/// §1.2: retiming alone cannot break cycle time 3 on Figure 1(a).
+#[test]
+fn retiming_alone_cannot_beat_three() {
+    let g = figures::figure_1a(0.5);
+    assert_eq!(cycle_time::cycle_time(&g).unwrap(), 3.0);
+    assert_eq!(min_period_retiming(&g).unwrap().period, 3.0);
+}
+
+/// §1.2: Figure 1(b) reaches τ = 1 but its *late* effective cycle time is
+/// still 3 (Θ = 1/3) — "this reduction of a cycle time is useless".
+#[test]
+fn recycling_without_early_evaluation_is_useless() {
+    let g = figures::figure_1b(0.5).with_late_evaluation();
+    let tau = cycle_time::cycle_time(&g).unwrap();
+    assert_eq!(tau, 1.0);
+    let th = exact_throughput(&g).unwrap().throughput;
+    assert!((th - 1.0 / 3.0).abs() < 1e-9);
+    assert!((tau / th - 3.0).abs() < 1e-6, "ξ must remain 3");
+}
+
+/// §1.4: all four throughput oracles agree on the early-evaluation
+/// figures, and match the paper's printed values.
+#[test]
+fn four_oracles_agree_on_the_figures() {
+    for (alpha, expected) in [(0.5, 0.4918), (0.9, 0.71875)] {
+        let g = figures::figure_1b(alpha);
+        let markov = exact_throughput(&g).unwrap().throughput;
+        let machine = simulate(&g, &MachineParams::default()).unwrap().throughput;
+        let tgmg = tgmg_sim::simulate(&tgmg_of(&g), &tgmg_sim::SimParams::default())
+            .unwrap()
+            .throughput;
+        let bound = lp_bound::throughput_upper_bound(&tgmg_of(&g)).unwrap();
+        assert!((markov - expected).abs() < 1e-3, "markov {markov} vs {expected}");
+        assert!((machine - markov).abs() < 0.02, "machine {machine} vs {markov}");
+        assert!((tgmg - markov).abs() < 0.02, "tgmg {tgmg} vs {markov}");
+        assert!(bound >= markov - 1e-6, "LP bound {bound} below exact {markov}");
+    }
+}
+
+/// §1.4 + §4: `MIN_EFF_CYC` starting from Figure 1(a) discovers a
+/// configuration at least as good as Figure 2 — the paper's optimum —
+/// and never loses to min-delay retiming.
+#[test]
+fn optimizer_rediscovers_figure_2() {
+    for alpha in [0.5, 0.9] {
+        let g = figures::figure_1a(alpha);
+        let out = min_eff_cyc(&g, &CoreOptions::fast()).unwrap();
+        let best = out.best_simulated().expect("nonempty sweep");
+        let fig2_xi = 1.0 / figures::figure_2_throughput(alpha);
+        assert!(
+            best.xi_sim <= fig2_xi * 1.05,
+            "α={alpha}: ξ = {} vs Figure 2's {fig2_xi}",
+            best.xi_sim
+        );
+        let retiming = min_period_retiming(&g).unwrap().period;
+        assert!(best.xi_sim <= retiming + 1e-6);
+    }
+}
+
+/// The anti-token arithmetic of §1.3: an empty EB equals a token followed
+/// by an anti-token (0 = 1 − 1), so Figure 2's bottom bypass with R0 = −2
+/// keeps both cycle token sums invariant.
+#[test]
+fn anti_token_invariants() {
+    let g = figures::figure_2(0.5);
+    assert_eq!(g.edge(figures::edge::BOTTOM).tokens(), -2);
+    // Token sums: top cycle 4, bottom cycle 1 (§1.4).
+    let t = |e| g.edge(e).tokens();
+    let shared = t(figures::edge::M_F1)
+        + t(figures::edge::F1_F2)
+        + t(figures::edge::F2_F3)
+        + t(figures::edge::F3_F);
+    assert_eq!(shared + t(figures::edge::TOP), 4);
+    assert_eq!(shared + t(figures::edge::BOTTOM), 1);
+}
+
+/// Facade smoke test: the re-exported module tree is usable as one
+/// dependency.
+#[test]
+fn facade_reexports_work() {
+    let g = rr_rrg::figures::figure_1a(0.5);
+    let _ = retiming_recycling::rrg::cycle_time::cycle_time(&g).unwrap();
+    let _ = retiming_recycling::tgmg::skeleton::tgmg_of(&g);
+}
