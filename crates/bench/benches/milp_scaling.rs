@@ -4,24 +4,39 @@
 //!
 //! Measures, as the random-graph size grows:
 //! * the LP throughput-bound solve (pure simplex),
-//! * the `MAX_THR` MILP at the min-delay cycle time (simplex + B&B).
+//! * the `MAX_THR` MILP at the min-delay cycle time (simplex + B&B),
+//!
+//! and — the perf contract of the revised-simplex kernel — an explicit
+//! **kernel A/B comparison**: every instance is solved once with the
+//! production kernel (revised simplex, warm-started branch & bound) and
+//! once with the dense-tableau oracle (cold restarts), in the same run.
+//! Wall time, simplex pivots and node counts of both are appended to
+//! `BENCH_milp.json` (see `rr_bench::bench_log`) so the speedup is
+//! tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use rr_bench::bench_log::{append, JsonRecord};
 use rr_core::{formulation, CoreOptions};
+use rr_milp::Kernel;
 use rr_rrg::generate::GeneratorParams;
+use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
+
+fn instance(edges: usize) -> Rrg {
+    let nodes = edges / 2;
+    let early = (nodes / 8).max(1);
+    let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
+    p.generate(42)
+}
 
 fn bench_lp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_bound_scaling");
     group.sample_size(10);
     for &edges in &[20usize, 60, 120, 240] {
-        let nodes = edges / 2;
-        let early = (nodes / 8).max(1);
-        let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
-        let g = p.generate(42);
-        let t = tgmg_of(&g);
+        let t = tgmg_of(&instance(edges));
         group.bench_with_input(BenchmarkId::from_parameter(edges), &t, |b, t| {
             b.iter(|| lp_bound::throughput_upper_bound(black_box(t)).unwrap())
         });
@@ -33,10 +48,7 @@ fn bench_milp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_thr_scaling");
     group.sample_size(10);
     for &edges in &[20usize, 40] {
-        let nodes = edges / 2;
-        let early = (nodes / 8).max(1);
-        let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
-        let g = p.generate(42);
+        let g = instance(edges);
         let opts = CoreOptions::fast();
         group.bench_with_input(BenchmarkId::from_parameter(edges), &g, |b, g| {
             b.iter(|| formulation::max_thr(black_box(g), g.max_delay(), &opts).unwrap())
@@ -45,9 +57,126 @@ fn bench_milp_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Solves `MAX_THR` once with explicit kernel options and returns a
+/// filled record plus the wall time.
+fn measure_milp(
+    g: &Rrg,
+    edges: usize,
+    kernel: Kernel,
+    warm: bool,
+) -> (JsonRecord, f64, f64, bool) {
+    let mut opts = CoreOptions::fast();
+    opts.solver.kernel = kernel;
+    opts.solver.warm_start = warm;
+    let t0 = Instant::now();
+    let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let label = match kernel {
+        Kernel::Revised => {
+            if warm {
+                "revised_warm"
+            } else {
+                "revised_cold"
+            }
+        }
+        Kernel::DenseTableau => "dense_oracle",
+    };
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "max_thr")
+        .int("edges", edges as u64)
+        .str("kernel", label)
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("warm_solves", out.stats.warm_solves as u64)
+        .int("cold_solves", out.stats.cold_solves as u64)
+        .int("truncated", u64::from(out.stats.truncated));
+    (record, wall_ms, out.objective, out.stats.truncated)
+}
+
+/// Solves the LP throughput bound once with an explicit kernel.
+fn measure_lp(g: &Rrg, edges: usize, kernel: Kernel) -> (JsonRecord, f64) {
+    let mut solver = rr_milp::SolverOptions::default();
+    solver.kernel = kernel;
+    let t = tgmg_of(g);
+    let t0 = Instant::now();
+    let (bound, pivots) =
+        lp_bound::throughput_upper_bound_counted(&t, &solver).expect("LP bound solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let label = match kernel {
+        Kernel::Revised => "revised",
+        Kernel::DenseTableau => "dense_oracle",
+    };
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "lp_bound")
+        .int("edges", edges as u64)
+        .str("kernel", label)
+        .num("wall_ms", wall_ms)
+        .num("objective", bound)
+        .int("pivots", pivots as u64);
+    (record, wall_ms)
+}
+
+/// The A/B pass: both kernels on every instance, speedup recorded for
+/// the largest MILP (the acceptance metric of the revised-kernel PR).
+fn kernel_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    for &edges in &[60usize, 240] {
+        let g = instance(edges);
+        let (rec, _) = measure_lp(&g, edges, Kernel::Revised);
+        records.push(rec);
+        let (rec, _) = measure_lp(&g, edges, Kernel::DenseTableau);
+        records.push(rec);
+    }
+    let mut largest: Option<(usize, f64, f64, f64, f64, bool)> = None;
+    for &edges in &[20usize, 40] {
+        let g = instance(edges);
+        let (rec, warm_ms, warm_obj, warm_trunc) = measure_milp(&g, edges, Kernel::Revised, true);
+        records.push(rec);
+        let (rec, _, _, _) = measure_milp(&g, edges, Kernel::Revised, false);
+        records.push(rec);
+        let (rec, dense_ms, dense_obj, dense_trunc) =
+            measure_milp(&g, edges, Kernel::DenseTableau, false);
+        records.push(rec);
+        largest = Some((
+            edges,
+            warm_ms,
+            dense_ms,
+            warm_obj,
+            dense_obj,
+            warm_trunc || dense_trunc,
+        ));
+    }
+    if let Some((edges, warm_ms, dense_ms, warm_obj, dense_obj, truncated)) = largest {
+        let speedup = dense_ms / warm_ms.max(1e-9);
+        println!(
+            "kernel comparison: largest MAX_THR instance ({edges} edges) \
+             revised+warm {warm_ms:.1} ms vs dense oracle {dense_ms:.1} ms \
+             → speedup {speedup:.2}×{}",
+            if truncated {
+                "  (budget-truncated: same node/time caps, incumbents may differ)"
+            } else {
+                ""
+            }
+        );
+        records.push(
+            JsonRecord::new("milp_scaling_summary")
+                .int("largest_edges", edges as u64)
+                .num("revised_warm_ms", warm_ms)
+                .num("dense_oracle_ms", dense_ms)
+                .num("speedup", speedup)
+                .num("revised_warm_objective", warm_obj)
+                .num("dense_oracle_objective", dense_obj)
+                .int("truncated", u64::from(truncated)),
+        );
+    }
+    append(&records);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_lp_scaling, bench_milp_scaling
+    targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison
 }
 criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Machine-readable perf records: `BENCH_milp.json`.
+//!
+//! Every perf-relevant harness (the `milp_scaling` bench, the `table1` /
+//! `table2` binaries) appends flat JSON records here so the MILP-kernel
+//! perf trajectory can be tracked across PRs without parsing bench
+//! stdout. The file is a JSON array with one record per line:
+//!
+//! ```json
+//! [
+//! {"kind":"milp_scaling","edges":40,"kernel":"revised","wall_ms":12.3,...},
+//! {"kind":"table1","circuit":"s526","wall_ms":823.1,...}
+//! ]
+//! ```
+//!
+//! No serde in the container, so records are rendered by hand; the
+//! format is deliberately flat (string / integer / float fields only).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// One flat JSON object under construction.
+#[derive(Debug, Clone, Default)]
+pub struct JsonRecord {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRecord {
+    /// Starts a record with its `kind` discriminator.
+    pub fn new(kind: &str) -> Self {
+        JsonRecord::default().str("kind", kind)
+    }
+
+    /// Adds a string field (JSON-escaped).
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), escape(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Renders the record as a single-line JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Where the records go: `$BENCH_MILP_PATH`, or `BENCH_milp.json` at the
+/// workspace root (`cargo bench` changes the working directory to the
+/// package, so the path is anchored at compile time instead).
+pub fn bench_json_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("BENCH_MILP_PATH") {
+        return PathBuf::from(p);
+    }
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up");
+    workspace_root.join("BENCH_milp.json")
+}
+
+/// Appends records to the JSON array at [`bench_json_path`], creating it
+/// when absent and replacing it when unparseable. I/O errors are
+/// reported to stderr, never panicked on — perf logging must not fail a
+/// bench run.
+///
+/// The read-modify-write is **not** atomic: run the perf harnesses
+/// sequentially (as `scripts/ci.sh` does); concurrent writers to the
+/// same file are last-writer-wins.
+pub fn append(records: &[JsonRecord]) {
+    let path = bench_json_path();
+    let mut lines: Vec<String> = match fs::read_to_string(&path) {
+        Ok(existing) if existing.trim_start().starts_with('[') => existing
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with('{'))
+            .map(|l| l.trim_end_matches(',').to_string())
+            .collect(),
+        _ => Vec::new(),
+    };
+    lines.extend(records.iter().map(JsonRecord::render));
+    let body = format!("[\n{}\n]\n", lines.join(",\n"));
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("perf records appended to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_flat_json() {
+        let r = JsonRecord::new("milp_scaling")
+            .int("edges", 40)
+            .num("wall_ms", 12.5)
+            .num("speedup", f64::INFINITY)
+            .str("kernel", "revised \"warm\"");
+        assert_eq!(
+            r.render(),
+            r#"{"kind":"milp_scaling","edges":40,"wall_ms":12.5,"speedup":null,"kernel":"revised \"warm\""}"#
+        );
+    }
+
+    #[test]
+    fn append_round_trips_through_a_temp_file() {
+        let dir = std::env::temp_dir().join(format!("bench_log_test_{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_milp.json");
+        let _ = fs::remove_file(&path);
+        std::env::set_var("BENCH_MILP_PATH", &path);
+        append(&[JsonRecord::new("a").int("x", 1)]);
+        append(&[JsonRecord::new("b").int("x", 2)]);
+        let text = fs::read_to_string(&path).unwrap();
+        std::env::remove_var("BENCH_MILP_PATH");
+        assert!(text.starts_with("[\n"), "not an array: {text}");
+        assert!(text.contains(r#"{"kind":"a","x":1}"#));
+        assert!(text.contains(r#"{"kind":"b","x":2}"#));
+        assert_eq!(text.matches('{').count(), 2);
+    }
+}

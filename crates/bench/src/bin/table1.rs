@@ -11,6 +11,7 @@
 //! LP picking a near-optimal one, err% growing as bubbles are inserted —
 //! is the reproduction target (see EXPERIMENTS.md).
 
+use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::HarnessArgs;
 use rr_core::report::evaluate_benchmark;
 use rr_rrg::iscas::IscasProfile;
@@ -37,11 +38,20 @@ fn main() {
         );
     }
     println!();
+    let t0 = std::time::Instant::now();
     let (row, table1) =
         evaluate_benchmark(name, &g, &args.core_options()).expect("benchmark pipeline succeeds");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     print!("{table1}");
     println!(
         "\nξ* = {:.2}, ξ_nee = {:.2}, ξ_lp_min = {:.2}, ξ_sim_min = {:.2}, I% = {:.1}",
         row.xi_star, row.xi_nee, row.xi_lp_min, row.xi_sim_min, row.improvement_pct
     );
+    append(&[JsonRecord::new("table1")
+        .str("circuit", name)
+        .int("edges", g.num_edges() as u64)
+        .num("wall_ms", wall_ms)
+        .int("milp_nodes", table1.outcome.total_nodes as u64)
+        .int("pivots", table1.outcome.total_simplex_iters as u64)
+        .num("xi_sim_min", row.xi_sim_min)]);
 }

@@ -13,6 +13,7 @@
 //! scratch MILP solver stands in for CPLEX; see EXPERIMENTS.md for the
 //! deviation log). Circuits run in parallel across cores.
 
+use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::{parallel_map, HarnessArgs};
 use rr_core::report::{evaluate_benchmark, Table2};
 use rr_rrg::iscas::TABLE2;
@@ -42,23 +43,37 @@ fn main() {
         } else {
             String::new()
         };
+        let edges = g.num_edges();
+        let t0 = std::time::Instant::now();
         let res = evaluate_benchmark(profile.name, &g, &opts);
-        (profile.name, scaled, res)
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (profile.name, scaled, edges, wall_ms, res)
     });
 
     let mut table = Table2::default();
-    for (name, scaled, res) in results {
+    let mut records = Vec::new();
+    for (name, scaled, edges, wall_ms, res) in results {
         match res {
             Ok((row, table1)) => {
                 if args.verbose {
                     println!("\n--- {name}{scaled} ---");
                     print!("{table1}");
                 }
+                records.push(
+                    JsonRecord::new("table2")
+                        .str("circuit", name)
+                        .int("edges", edges as u64)
+                        .num("wall_ms", wall_ms)
+                        .int("milp_nodes", table1.outcome.total_nodes as u64)
+                        .int("pivots", table1.outcome.total_simplex_iters as u64)
+                        .num("xi_sim_min", row.xi_sim_min),
+                );
                 table.rows.push(row);
             }
             Err(e) => eprintln!("{name}: failed: {e}"),
         }
     }
+    append(&records);
     println!();
     print!("{table}");
     println!(

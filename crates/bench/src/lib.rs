@@ -12,6 +12,8 @@
 //! the reproduction itself (MILP scaling, simulator cost); the binaries
 //! produce the *numbers*.
 
+pub mod bench_log;
+
 use std::time::Duration;
 
 use rr_core::CoreOptions;

@@ -29,6 +29,12 @@ pub struct MinEffCycOutcome {
     pub evaluations: Vec<RcEvaluation>,
     /// `true` when every MILP solve in the sweep was proven optimal.
     pub all_proven_optimal: bool,
+    /// Branch & bound nodes summed over every MILP solve in the sweep.
+    pub total_nodes: usize,
+    /// Simplex pivots summed over every MILP solve in the sweep — the
+    /// single number that tracks how much LP work the whole optimization
+    /// cost (recorded by the scaling benches).
+    pub total_simplex_iters: usize,
 }
 
 impl MinEffCycOutcome {
@@ -100,7 +106,11 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
         }
     }
 
+    let mut total_nodes = 0usize;
+    let mut total_simplex_iters = 0usize;
     let mut outcome = max_thr(g, g.max_delay(), opts)?;
+    total_nodes += outcome.stats.nodes;
+    total_simplex_iters += outcome.stats.simplex_iters;
     // Throughput targets advance by at least ε per iteration even when a
     // budget-limited solve fails to move the frontier, so the loop is
     // bounded without an early-break heuristic.
@@ -121,14 +131,20 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
             Err(e) => return Err(e),
         };
         all_proven &= mc.proven_optimal;
+        total_nodes += mc.stats.nodes;
+        total_simplex_iters += mc.stats.simplex_iters;
         let tau = cycle_time::cycle_time_with(g, &mc.config.buffers)
             .map_err(|e| OptError::Evaluation(e.to_string()))?;
         outcome = max_thr(g, tau, opts)?;
+        total_nodes += outcome.stats.nodes;
+        total_simplex_iters += outcome.stats.simplex_iters;
     }
 
     Ok(MinEffCycOutcome {
         evaluations,
         all_proven_optimal: all_proven,
+        total_nodes,
+        total_simplex_iters,
     })
 }
 

@@ -20,7 +20,10 @@
 use std::error::Error;
 use std::fmt;
 
-use rr_milp::{cmp, LinExpr, Model, Sense, Solution, SolveError, Status, VarId};
+use rr_milp::{
+    cmp, solve_with_stats_hinted, BranchBoundStats, LinExpr, Model, Sense, Solution, SolveError,
+    Status, VarId,
+};
 use rr_rrg::{config::retime_tokens, Config, NodeKind, Rrg};
 use rr_tgmg::{DelaySrc, MarkingSrc, TgmgSkeleton};
 
@@ -78,6 +81,10 @@ pub struct OptOutcome {
     /// `true` when the solver proved optimality (vs returning the best
     /// incumbent at a limit, mirroring the paper's CPLEX timeouts).
     pub proven_optimal: bool,
+    /// Branch & bound search statistics (nodes, simplex pivots,
+    /// warm/cold solve split) — the perf telemetry the scaling benches
+    /// record in `BENCH_milp.json`.
+    pub stats: BranchBoundStats,
 }
 
 /// Whether a model parameter is an optimization variable or a constant.
@@ -390,12 +397,13 @@ pub fn min_cyc(g: &Rrg, x: f64, opts: &CoreOptions) -> Result<OptOutcome, OptErr
     assert!(x >= 1.0 - 1e-9, "x = 1/Θ must be at least 1");
     let built = build(g, Mode::Variable, Mode::Const(x), None);
     let hint = warm_start(g, &built, Repair::Throughput { x }, opts);
-    let sol = built.model.solve_with_hint(&opts.solver, &hint)?;
+    let (sol, stats) = solve_with_stats_hinted(&built.model, &opts.solver, &hint)?;
     let config = extract(g, &built, &sol)?;
     Ok(OptOutcome {
         config,
         objective: sol.value(built.tau.expect("tau is the objective")),
         proven_optimal: sol.status == Status::Optimal,
+        stats,
     })
 }
 
@@ -408,12 +416,13 @@ pub fn min_cyc(g: &Rrg, x: f64, opts: &CoreOptions) -> Result<OptOutcome, OptErr
 pub fn max_thr(g: &Rrg, tau: f64, opts: &CoreOptions) -> Result<OptOutcome, OptError> {
     let built = build(g, Mode::Const(tau), Mode::Variable, None);
     let hint = warm_start(g, &built, Repair::Timing { tau }, opts);
-    let sol = built.model.solve_with_hint(&opts.solver, &hint)?;
+    let (sol, stats) = solve_with_stats_hinted(&built.model, &opts.solver, &hint)?;
     let config = extract(g, &built, &sol)?;
     Ok(OptOutcome {
         config,
         objective: sol.value(built.x.expect("x is the objective")),
         proven_optimal: sol.status == Status::Optimal,
+        stats,
     })
 }
 

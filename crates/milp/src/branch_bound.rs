@@ -1,4 +1,4 @@
-//! Branch & bound for mixed-integer models.
+//! Branch & bound for mixed-integer models, with **warm-started nodes**.
 //!
 //! Depth-first search over bound tightenings with:
 //!
@@ -11,14 +11,41 @@
 //!   retiming relaxations solve in a handful of nodes,
 //! * node and wall-clock limits that return the best incumbent with
 //!   [`Status::Feasible`] instead of failing.
+//!
+//! # Warm starts
+//!
+//! With the revised kernel ([`Kernel::Revised`]) the search builds the
+//! **bounded-variable** form once ([`BoxedForm::build`]): every
+//! branchable integer variable is a boxed column, and branching rewrites
+//! that column's `[lo, hi]` box in place. Rhs and bound changes leave
+//! reduced costs untouched, so *any* optimal basis anywhere in the tree
+//! stays dual feasible for every node: the search runs as one continuous
+//! simplex process, each node reoptimized by a **bounded dual-simplex
+//! run** ([`Revised::dual_reopt`]) from whatever basis the previous node
+//! left behind — typically a handful of pivots and no refactorization.
+//! The round-and-fix heuristic reuses the same mechanism (pin every
+//! integer's box, dual-reoptimize, unpin). Fallbacks stay layered: a
+//! failed in-place reopt retries from the parent's snapshot
+//! ([`Revised::install_basis`]), then cold two-phase; and
+//! [`SolverOptions::warm_start`]` = false` forces cold node solves
+//! everywhere (the configuration the warm-start regression tests compare
+//! against).
+//!
+//! Models whose integer variables cannot be boxed (lower bound −∞:
+//! mirrored or free integers) and the dense-tableau oracle kernel take
+//! the legacy path: clone the model, tighten variable bounds, rebuild
+//! the standard form at every node.
 
 use std::time::Instant;
 
 use crate::expr::VarId;
-use crate::model::{Model, Sense, SolverOptions};
+use crate::model::{Kernel, Model, Sense, SolverOptions};
+use crate::revised::{BasisState, Revised};
 use crate::solution::{Solution, SolveError, Status};
+use crate::standard::{BoxedForm, ColMap};
 
-/// Search statistics of the last branch-and-bound run (diagnostics).
+/// Search statistics of the last branch-and-bound run (diagnostics and
+/// perf telemetry).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BranchBoundStats {
     /// LP relaxations solved (nodes explored).
@@ -29,9 +56,428 @@ pub struct BranchBoundStats {
     pub truncated: bool,
     /// Objective of the root LP relaxation.
     pub root_bound: f64,
+    /// Total simplex pivots across every LP the search solved (node
+    /// relaxations, warm reoptimizations, heuristic re-solves).
+    pub simplex_iters: usize,
+    /// Node LPs successfully reoptimized from the parent basis.
+    pub warm_solves: usize,
+    /// Node LPs solved two-phase from scratch (root, fallbacks, and all
+    /// nodes when warm starts are disabled).
+    pub cold_solves: usize,
 }
 
-struct Search<'a> {
+// ---------------------------------------------------------------------------
+// Warm-started search (revised kernel, mutable bound rows)
+// ---------------------------------------------------------------------------
+
+struct WarmSearch<'a> {
+    model: &'a Model,
+    form: BoxedForm,
+    /// Per model variable: `(column, root lower bound)` of branchable
+    /// integers; `None` for fixed or continuous variables.
+    int_cols: Vec<Option<(usize, f64)>>,
+    kernel: Revised,
+    opts: &'a SolverOptions,
+    sense_mul: f64,
+    start: Instant,
+    best: Option<Solution>,
+    stats: BranchBoundStats,
+    int_vars: Vec<VarId>,
+    /// Current branch bounds per model variable (model space).
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    stopped: bool,
+}
+
+impl WarmSearch<'_> {
+    fn out_of_budget(&self) -> bool {
+        if self.stats.nodes >= self.opts.max_nodes {
+            return true;
+        }
+        if let Some(limit) = self.opts.time_limit {
+            if self.start.elapsed() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Signed objective for pruning comparisons (always "minimize").
+    fn signed(&self, obj: f64) -> f64 {
+        self.sense_mul * obj
+    }
+
+    /// Pushes the current `lo`/`hi` of a variable into its column box.
+    fn apply_var_bounds(&mut self, vi: usize) {
+        if let Some((col, lb0)) = self.int_cols[vi] {
+            self.kernel
+                .set_col_bounds(col, self.lo[vi] - lb0, self.hi[vi] - lb0);
+        }
+    }
+
+    /// Dual-reoptimizes the kernel **in place** (no refactorization): any
+    /// dual-feasible basis is a valid warm-start seed for any rhs, so the
+    /// state the previous node left behind works directly. `Err` values
+    /// are *soft* failures (fall back) except [`SolveError::Infeasible`],
+    /// which is a genuine verdict.
+    fn try_warm_in_place(&mut self) -> Result<(), SolveError> {
+        // Bounded reoptimization: a healthy warm start takes a handful of
+        // pivots; if the dual run exceeds this budget a cold solve is
+        // cheaper than fighting degeneracy.
+        let (m, n) = self.kernel.dims();
+        let mut dual_budget = (1_000 + m + n / 4).min(self.opts.max_pivots);
+        self.kernel.dual_reopt(self.opts, &mut dual_budget)?;
+        let mut budget = self.opts.max_pivots;
+        self.kernel.primal_opt(self.opts, &mut budget)?;
+        if self.kernel.has_active_artificial(1e-6) {
+            return Err(SolveError::Numerical("artificial reactivated".into()));
+        }
+        Ok(())
+    }
+
+    /// Like [`WarmSearch::try_warm_in_place`] but re-installing an
+    /// explicit (parent) basis first — the fallback when the in-place
+    /// state is unusable.
+    fn try_warm_install(&mut self, state: &BasisState) -> Result<(), SolveError> {
+        self.kernel.install_basis(state)?;
+        self.try_warm_in_place()
+    }
+
+    /// Solves the current node LP: in-place dual reoptimization when the
+    /// kernel state allows it, else from the parent basis, else cold.
+    fn solve_node(&mut self, parent: Option<&BasisState>) -> Result<(), SolveError> {
+        if self.opts.warm_start && parent.is_some() {
+            let outcome = if self.kernel.dual_ok() {
+                self.try_warm_in_place()
+            } else {
+                Err(SolveError::Numerical("kernel not dual feasible".into()))
+            };
+            let outcome = match outcome {
+                // Soft failure: retry from the parent's optimal basis.
+                Err(e) if e != SolveError::Infeasible => {
+                    let state = parent.expect("checked above").clone();
+                    self.try_warm_install(&state)
+                }
+                other => other,
+            };
+            match outcome {
+                Ok(()) => {
+                    self.stats.warm_solves += 1;
+                    return Ok(());
+                }
+                Err(SolveError::Infeasible) => {
+                    // A dual-simplex proof of infeasibility concluded
+                    // the node — that is a successful warm solve.
+                    self.stats.warm_solves += 1;
+                    return Err(SolveError::Infeasible);
+                }
+                // Iteration limit, numerics, singular basis: retry cold.
+                Err(_) => {}
+            }
+        }
+        self.stats.cold_solves += 1;
+        let mut budget = self.opts.max_pivots;
+        self.kernel.solve_two_phase(self.opts, &mut budget)
+    }
+
+    /// Reoptimizes after a bound change without node bookkeeping (used by
+    /// the round-and-fix heuristic); cold fallback included.
+    fn reopt_in_place(&mut self) -> Result<(), SolveError> {
+        let warm = if self.kernel.dual_ok() {
+            self.try_warm_in_place()
+        } else {
+            Err(SolveError::Numerical("kernel not dual feasible".into()))
+        };
+        match warm {
+            Ok(()) => Ok(()),
+            Err(SolveError::Infeasible) => Err(SolveError::Infeasible),
+            Err(_) => {
+                let mut budget = self.opts.max_pivots;
+                self.kernel.solve_two_phase(self.opts, &mut budget)
+            }
+        }
+    }
+
+    /// The solution at the kernel's current optimum.
+    fn node_solution(&self) -> Solution {
+        let values = self.form.sf.recover(&self.kernel.values());
+        let objective = self.model.objective.eval(&values);
+        Solution {
+            values,
+            objective,
+            status: Status::Optimal,
+        }
+    }
+
+    /// Picks the branching variable: highest priority class first, most
+    /// fractional within it; `None` when the point is integral.
+    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
+        let mut best: Option<(VarId, f64)> = None;
+        let mut best_key = (i32::MIN, self.opts.int_tol);
+        for &v in &self.int_vars {
+            let val = sol.value(v);
+            let frac = (val - val.round()).abs();
+            if frac <= self.opts.int_tol {
+                continue;
+            }
+            let key = (self.model.var(v).priority(), frac);
+            if key > best_key {
+                best_key = key;
+                best = Some((v, val));
+            }
+        }
+        best
+    }
+
+    /// Relative gap of the incumbent against the root LP bound.
+    fn within_gap(&self) -> bool {
+        let Some(best) = &self.best else { return false };
+        if self.stats.nodes == 0 {
+            return false;
+        }
+        let bound = self.signed(self.stats.root_bound);
+        let inc = self.signed(best.objective);
+        inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
+    }
+
+    /// Installs `candidate` as the incumbent when it is integral and
+    /// improves on the current best.
+    fn accept_incumbent(&mut self, candidate: Solution) {
+        // Rounded values clamped into the current box can be fractional
+        // when an integer variable carries fractional bounds — only
+        // truly integral points may become incumbents.
+        let integral = self.int_vars.iter().all(|&v| {
+            let x = candidate.value(v);
+            (x - x.round()).abs() <= self.opts.int_tol
+        });
+        let better = match &self.best {
+            None => true,
+            Some(b) => self.signed(candidate.objective) < self.signed(b.objective) - 1e-9,
+        };
+        if integral && better {
+            self.stats.incumbents += 1;
+            self.best = Some(candidate);
+        }
+    }
+
+    /// Round-and-fix: pin every integer variable's box to the rounded
+    /// relaxation value, reoptimize the continuous part from the current
+    /// basis, and offer the result as an incumbent. The pre-heuristic
+    /// basis is restored afterwards so the next node's in-place warm
+    /// start resumes from the node optimum instead of re-navigating away
+    /// from the heuristic's pinned vertex (a no-op when the polish took
+    /// zero pivots).
+    fn offer_incumbent(&mut self, sol: &Solution) {
+        // The basis restore below only matters when later solves warm
+        // start in place; cold mode re-crashes every node anyway.
+        let pre_basis = if self.opts.warm_start {
+            Some(self.kernel.basis_snapshot())
+        } else {
+            None
+        };
+        let mut saved: Vec<(usize, f64, f64)> = Vec::with_capacity(self.int_vars.len());
+        for k in 0..self.int_vars.len() {
+            let v = self.int_vars[k];
+            let vi = v.index();
+            if self.int_cols[vi].is_none() {
+                continue; // fixed at the root; already integral
+            }
+            let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
+            saved.push((vi, self.lo[vi], self.hi[vi]));
+            self.lo[vi] = val;
+            self.hi[vi] = val;
+            self.apply_var_bounds(vi);
+        }
+        let solved = self.reopt_in_place();
+        let candidate = if solved.is_ok() {
+            self.node_solution()
+        } else {
+            // The polish re-solve failed (rare numerics); fall back to
+            // the relaxation point itself rather than dropping it.
+            sol.clone()
+        };
+        self.accept_incumbent(candidate);
+        for (vi, l, h) in saved {
+            self.lo[vi] = l;
+            self.hi[vi] = h;
+            self.apply_var_bounds(vi);
+        }
+        if let Some(pre_basis) = pre_basis {
+            if self.kernel.install_basis(&pre_basis).is_ok() {
+                // The restored basis is the node's phase-2 optimum, hence
+                // dual feasible; a (normally zero-pivot) dual pass
+                // re-certifies it so the next node can warm-start in place.
+                let mut budget = self.opts.max_pivots;
+                let _ = self.kernel.dual_reopt(self.opts, &mut budget);
+            }
+        }
+    }
+
+    fn dfs(&mut self, depth: usize, parent: Option<&BasisState>) -> Result<(), SolveError> {
+        if self.stopped {
+            return Ok(());
+        }
+        if self.out_of_budget() {
+            self.stopped = true;
+            self.stats.truncated = true;
+            return Ok(());
+        }
+        self.stats.nodes += 1;
+        match self.solve_node(parent) {
+            Ok(()) => {}
+            Err(SolveError::Infeasible) => return Ok(()),
+            Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
+                // No usable bound for this subtree (budget or numerics):
+                // prune it and keep whatever incumbent exists — aborting
+                // would discard a feasible answer over one bad node.
+                self.stats.truncated = true;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let relax = self.node_solution();
+        if depth == 0 {
+            self.stats.root_bound = relax.objective;
+        }
+        if let Some(best) = &self.best {
+            if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
+                return Ok(()); // cannot beat the incumbent
+            }
+        }
+        let Some((var, val)) = self.most_fractional(&relax) else {
+            // Integral leaf: the relaxation point IS the optimal
+            // incumbent for this box — no pin/reopt round trip needed.
+            self.accept_incumbent(relax);
+            return Ok(());
+        };
+        // Children warm-start from this node's optimal basis (snapshot
+        // before the heuristic perturbs the kernel); skipped entirely in
+        // the cold A/B configuration, which never reads it.
+        let my_basis = if self.opts.warm_start {
+            Some(self.kernel.basis_snapshot())
+        } else {
+            None
+        };
+
+        if self.opts.rounding_heuristic && (depth == 0 || depth % 8 == 0) {
+            self.offer_incumbent(&relax);
+        }
+        if self.within_gap() {
+            self.stopped = true;
+            return Ok(());
+        }
+
+        let floor = val.floor();
+        let ceil = val.ceil();
+        // Nearer side first.
+        let down_first = val - floor <= ceil - val;
+        let sides: [(f64, bool); 2] = if down_first {
+            [(floor, true), (ceil, false)]
+        } else {
+            [(ceil, false), (floor, true)]
+        };
+        let vi = var.index();
+        for (bound, is_upper) in sides {
+            let saved = (self.lo[vi], self.hi[vi]);
+            if is_upper {
+                self.hi[vi] = self.hi[vi].min(bound);
+            } else {
+                self.lo[vi] = self.lo[vi].max(bound);
+            }
+            if self.lo[vi] <= self.hi[vi] {
+                self.apply_var_bounds(vi);
+                self.dfs(depth + 1, my_basis.as_ref())?;
+            }
+            self.lo[vi] = saved.0;
+            self.hi[vi] = saved.1;
+            self.apply_var_bounds(vi);
+            if self.stopped {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the warm-started search; every integer variable of `model` must
+/// be boxable (`Fixed` or `Shifted`).
+fn solve_warm(
+    model: &Model,
+    opts: &SolverOptions,
+    hint: &[(VarId, f64)],
+    form: BoxedForm,
+    int_cols: Vec<Option<(usize, f64)>>,
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let int_vars: Vec<VarId> = model
+        .vars()
+        .filter(|(_, v)| v.is_integer())
+        .map(|(id, _)| id)
+        .collect();
+    let kernel = Revised::new(&form);
+    let mut search = WarmSearch {
+        model,
+        kernel,
+        form,
+        int_cols,
+        opts,
+        sense_mul: match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        },
+        start: Instant::now(),
+        best: None,
+        stats: BranchBoundStats::default(),
+        int_vars,
+        lo: model.vars.iter().map(|v| v.lower).collect(),
+        hi: model.vars.iter().map(|v| v.upper).collect(),
+        stopped: false,
+    };
+
+    // Warm start hint: pin the hinted integers, solve the continuous
+    // part, and install the result as the first incumbent if integral.
+    if !hint.is_empty() {
+        let mut saved: Vec<(usize, f64, f64)> = Vec::new();
+        for &(v, val) in hint {
+            let vi = v.index();
+            if !search.model.var(v).is_integer() || search.int_cols[vi].is_none() {
+                continue;
+            }
+            let val = val.round().clamp(search.lo[vi], search.hi[vi]);
+            saved.push((vi, search.lo[vi], search.hi[vi]));
+            search.lo[vi] = val;
+            search.hi[vi] = val;
+            search.apply_var_bounds(vi);
+        }
+        let mut budget = opts.max_pivots;
+        if search.kernel.solve_two_phase(opts, &mut budget).is_ok() {
+            let sol = search.node_solution();
+            let integral = search.int_vars.iter().all(|&v| {
+                let x = sol.value(v);
+                (x - x.round()).abs() <= opts.int_tol
+            });
+            if integral {
+                search.stats.incumbents += 1;
+                search.best = Some(sol);
+            }
+        }
+        for (vi, l, h) in saved {
+            search.lo[vi] = l;
+            search.hi[vi] = h;
+            search.apply_var_bounds(vi);
+        }
+    }
+
+    search.dfs(0, None)?;
+    search.stats.simplex_iters = search.kernel.iters;
+    finish(search.best, search.stats)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy search (model clone + rebuild per node): dense-tableau oracle and
+// models with free/half-bounded integers.
+// ---------------------------------------------------------------------------
+
+struct LegacySearch<'a> {
     model: Model,
     opts: &'a SolverOptions,
     sense_mul: f64,
@@ -42,7 +488,7 @@ struct Search<'a> {
     stopped: bool,
 }
 
-impl Search<'_> {
+impl LegacySearch<'_> {
     fn out_of_budget(&self) -> bool {
         if self.stats.nodes >= self.opts.max_nodes {
             return true;
@@ -104,22 +550,29 @@ impl Search<'_> {
             let val = val.clamp(var.lower(), var.upper());
             fixed.fix_var(v, val);
         }
-        let Ok(clean) = fixed.solve_relaxation(self.opts) else {
-            return;
+        let clean = match fixed.solve_relaxation_counted(self.opts) {
+            Ok((clean, pivots)) => {
+                self.stats.simplex_iters += pivots;
+                clean
+            }
+            // Snap re-solve failed: keep the relaxation point itself so
+            // an already-integral leaf is not discarded.
+            Err(_) => sol.clone(),
         };
+        // See WarmSearch::offer_incumbent: clamping can re-fractionalize
+        // integers with fractional bounds.
+        let integral = self.int_vars.iter().all(|&v| {
+            let x = clean.value(v);
+            (x - x.round()).abs() <= self.opts.int_tol
+        });
         let better = match &self.best {
             None => true,
             Some(b) => self.signed(clean.objective) < self.signed(b.objective) - 1e-9,
         };
-        if better {
+        if integral && better {
             self.stats.incumbents += 1;
             self.best = Some(clean);
         }
-    }
-
-    /// Round-and-fix heuristic from a fractional relaxation.
-    fn rounding_heuristic(&mut self, sol: &Solution) {
-        self.offer_incumbent(sol);
     }
 
     fn dfs(&mut self, depth: usize) -> Result<(), SolveError> {
@@ -132,13 +585,18 @@ impl Search<'_> {
             return Ok(());
         }
         self.stats.nodes += 1;
-        let relax = match self.model.solve_relaxation(self.opts) {
-            Ok(sol) => sol,
+        self.stats.cold_solves += 1;
+        let relax = match self.model.solve_relaxation_counted(self.opts) {
+            Ok((sol, pivots)) => {
+                self.stats.simplex_iters += pivots;
+                sol
+            }
             Err(SolveError::Infeasible) => return Ok(()),
-            Err(SolveError::IterationLimit) => {
-                // The node LP ran out of pivots; we cannot bound this
-                // subtree, so prune it and mark the search truncated (the
-                // incumbent — possibly the warm start — survives).
+            Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
+                // The node LP ran out of pivots or hit numerical trouble;
+                // we cannot bound this subtree, so prune it and mark the
+                // search truncated (the incumbent — possibly the warm
+                // start — survives).
                 self.stats.truncated = true;
                 return Ok(());
             }
@@ -160,7 +618,7 @@ impl Search<'_> {
         };
 
         if self.opts.rounding_heuristic && (depth == 0 || depth % 8 == 0) {
-            self.rounding_heuristic(&relax);
+            self.offer_incumbent(&relax);
         }
         if self.within_gap() {
             self.stopped = true;
@@ -194,6 +652,80 @@ impl Search<'_> {
             }
         }
         Ok(())
+    }
+}
+
+fn solve_legacy(
+    model: &Model,
+    opts: &SolverOptions,
+    hint: &[(VarId, f64)],
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let int_vars: Vec<VarId> = model
+        .vars()
+        .filter(|(_, v)| v.is_integer())
+        .map(|(id, _)| id)
+        .collect();
+    let mut search = LegacySearch {
+        model: model.clone(),
+        opts,
+        sense_mul: match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        },
+        start: Instant::now(),
+        best: None,
+        stats: BranchBoundStats::default(),
+        int_vars,
+        stopped: false,
+    };
+    // Warm start: fix the hinted integers, re-solve the continuous part,
+    // and install the result as the first incumbent if feasible.
+    if !hint.is_empty() {
+        let mut fixed = search.model.clone();
+        for &(v, val) in hint {
+            if fixed.var(v).is_integer() {
+                let val = val.round().clamp(fixed.var(v).lower(), fixed.var(v).upper());
+                fixed.fix_var(v, val);
+            }
+        }
+        if let Ok((sol, pivots)) = fixed.solve_relaxation_counted(opts) {
+            search.stats.simplex_iters += pivots;
+            // Only accept if truly integral on all integer vars (hinted
+            // or not).
+            let integral = search.int_vars.iter().all(|&v| {
+                let x = sol.value(v);
+                (x - x.round()).abs() <= opts.int_tol
+            });
+            if integral {
+                search.stats.incumbents += 1;
+                search.best = Some(sol);
+            }
+        }
+    }
+    search.dfs(0)?;
+    finish(search.best, search.stats)
+}
+
+// ---------------------------------------------------------------------------
+// Shared entry points
+// ---------------------------------------------------------------------------
+
+fn finish(
+    best: Option<Solution>,
+    stats: BranchBoundStats,
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let truncated = stats.truncated;
+    match best {
+        Some(mut sol) => {
+            sol.status = if truncated {
+                Status::Feasible
+            } else {
+                Status::Optimal
+            };
+            Ok((sol, stats))
+        }
+        None if truncated => Err(SolveError::IterationLimit),
+        None => Err(SolveError::Infeasible),
     }
 }
 
@@ -233,62 +765,39 @@ pub fn solve_with_stats_hinted(
     opts: &SolverOptions,
     hint: &[(VarId, f64)],
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
-    let int_vars: Vec<VarId> = model
-        .vars()
-        .filter(|(_, v)| v.is_integer())
-        .map(|(id, _)| id)
-        .collect();
-    let mut search = Search {
-        model: model.clone(),
-        opts,
-        sense_mul: match model.sense {
-            Sense::Minimize => 1.0,
-            Sense::Maximize => -1.0,
-        },
-        start: Instant::now(),
-        best: None,
-        stats: BranchBoundStats::default(),
-        int_vars,
-        stopped: false,
-    };
-    // Warm start: fix the hinted integers, re-solve the continuous part,
-    // and install the result as the first incumbent if feasible.
-    if !hint.is_empty() {
-        let mut fixed = search.model.clone();
-        for &(v, val) in hint {
-            if fixed.var(v).is_integer() {
-                let val = val.round().clamp(fixed.var(v).lower(), fixed.var(v).upper());
-                fixed.fix_var(v, val);
-            }
-        }
-        if let Ok(sol) = fixed.solve_relaxation(opts) {
-            // Only accept if truly integral on all integer vars (hinted
-            // or not).
-            let integral = search.int_vars.iter().all(|&v| {
-                let x = sol.value(v);
-                (x - x.round()).abs() <= opts.int_tol
-            });
-            if integral {
-                search.stats.incumbents += 1;
-                search.best = Some(sol);
+    // Cheap pre-check before paying for the standard-form build: every
+    // integer variable must be boxable (fixed, or finite lower bound).
+    let boxable = model
+        .vars
+        .iter()
+        .all(|v| !v.integer || v.lower == v.upper || v.lower.is_finite());
+    if opts.kernel == Kernel::Revised && boxable {
+        let form = BoxedForm::build(model);
+        // Every integer variable must be boxable: fixed, or shifted by a
+        // finite lower bound (the upper bound may be infinite — branching
+        // down installs one).
+        let int_cols: Option<Vec<Option<(usize, f64)>>> = model
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(vi, var)| {
+                if !var.integer {
+                    return Some(None);
+                }
+                match form.sf.map[vi] {
+                    ColMap::Fixed { .. } => Some(None),
+                    ColMap::Shifted { col, lb } => Some(Some((col, lb))),
+                    _ => None, // mirrored/free integer: legacy path
+                }
+            })
+            .collect();
+        if let Some(int_cols) = int_cols {
+            if !form.sf.proven_infeasible && !form.sf.rows.is_empty() {
+                return solve_warm(model, opts, hint, form, int_cols);
             }
         }
     }
-    search.dfs(0)?;
-    let truncated = search.stats.truncated;
-    let stats = search.stats;
-    match search.best {
-        Some(mut sol) => {
-            sol.status = if truncated {
-                Status::Feasible
-            } else {
-                Status::Optimal
-            };
-            Ok((sol, stats))
-        }
-        None if truncated => Err(SolveError::IterationLimit),
-        None => Err(SolveError::Infeasible),
-    }
+    solve_legacy(model, opts, hint)
 }
 
 #[cfg(test)]
@@ -398,6 +907,8 @@ mod tests {
         let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
         assert!(stats.nodes >= 1);
         assert!(!stats.truncated);
+        assert!(stats.simplex_iters >= 1, "no pivots counted");
+        assert_eq!(stats.cold_solves + stats.warm_solves, stats.nodes);
         // Root LP bound is at least as good as the integer optimum.
         assert!(stats.root_bound >= sol.objective - 1e-9);
     }
@@ -437,5 +948,86 @@ mod tests {
         // Optimal assignment cost: 2 + 4 + 6 = 12 (several optima).
         assert!((sol.objective - 12.0).abs() < 1e-6, "obj {}", sol.objective);
         assert!(stats.nodes <= 3, "took {} nodes", stats.nodes);
+    }
+
+    /// A multi-row knapsack family needing real search, solved at every
+    /// kernel / warm-start combination; objectives must agree.
+    #[test]
+    fn warm_cold_and_oracle_agree() {
+        let mut m = Model::new(Sense::Maximize);
+        let n = 12;
+        let mut obj = LinExpr::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            obj += ((i % 5 + 2) as f64) * v;
+        }
+        m.set_objective(obj);
+        for r in 0..5 {
+            let mut row = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                row += (((i + r) % 3 + 1) as f64) * v;
+            }
+            m.add_constraint(row, cmp::LE, 17.5 + r as f64);
+        }
+
+        let warm = SolverOptions::default();
+        let cold = SolverOptions {
+            warm_start: false,
+            ..Default::default()
+        };
+        let oracle = SolverOptions {
+            kernel: Kernel::DenseTableau,
+            ..Default::default()
+        };
+        let (s_warm, st_warm) = solve_with_stats(&m, &warm).unwrap();
+        let (s_cold, st_cold) = solve_with_stats(&m, &cold).unwrap();
+        let (s_oracle, _) = solve_with_stats(&m, &oracle).unwrap();
+        assert!((s_warm.objective - s_cold.objective).abs() < 1e-6);
+        assert!((s_warm.objective - s_oracle.objective).abs() < 1e-6);
+        // Warm starts actually engage and save pivots on this family.
+        assert!(st_warm.warm_solves > 0, "no warm solves recorded");
+        assert!(
+            st_warm.simplex_iters <= st_cold.simplex_iters,
+            "warm {} pivots vs cold {}",
+            st_warm.simplex_iters,
+            st_cold.simplex_iters
+        );
+    }
+
+    /// An integer variable with *fractional* bounds must still get an
+    /// integral value: the rounding heuristic clamps into the box, which
+    /// used to re-fractionalize the incumbent (x = 2.5 reported as an
+    /// "optimal" integer).
+    #[test]
+    fn fractional_bounds_still_yield_integral_solutions() {
+        for kernel in [Kernel::Revised, Kernel::DenseTableau] {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_integer("x", 0.0, 2.5);
+            m.set_objective(LinExpr::var(x));
+            m.add_constraint(LinExpr::var(x), cmp::LE, 10.0);
+            let opts = SolverOptions {
+                kernel,
+                ..Default::default()
+            };
+            let sol = m.solve_with(&opts).unwrap();
+            assert!(
+                (sol[x] - 2.0).abs() < 1e-6,
+                "{kernel:?}: expected x = 2, got {}",
+                sol[x]
+            );
+        }
+    }
+
+    /// Free integers cannot use bound rows; the legacy path must engage
+    /// and still answer correctly.
+    #[test]
+    fn free_integer_falls_back_to_legacy() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, true);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(LinExpr::var(x), cmp::GE, -2.5);
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.int_value(x), -2);
+        assert_eq!(stats.warm_solves, 0, "legacy path must not warm-start");
     }
 }

@@ -8,16 +8,54 @@
 //!
 //! * a [`Model`] builder with named, bounded, continuous or integer
 //!   [`variables`](Model::add_var) and linear [`constraints`](Model::add_constraint),
-//! * a dense **two-phase primal simplex** for the LP relaxation,
-//! * a **branch & bound** driver with a rounding heuristic for integer
-//!   programs (see [`solve_with_stats`]),
+//! * two LP kernels selected by [`SolverOptions::kernel`] (see below),
+//! * a **warm-started branch & bound** driver with a rounding heuristic
+//!   for integer programs (see [`solve_with_stats`]),
 //! * time / node limits mirroring the 20-minute CPLEX timeout used in the
 //!   paper ([`SolverOptions`]).
 //!
-//! The solver is deliberately dense and exact-arithmetic-free: the
-//! retiming/recycling MILPs it targets have at most a few thousand rows and
-//! very well-conditioned {-1, 0, 1, τ*} coefficient structure, for which a
-//! tolerance-based dense simplex is plenty.
+//! # Kernel architecture
+//!
+//! The production kernel ([`Kernel::Revised`], the default) is a
+//! **bounded-variable revised simplex**:
+//!
+//! * the constraint matrix is stored as **sparse columns**; variable
+//!   bounds live on the columns (`l ≤ y ≤ u`, nonbasic columns rest at
+//!   either bound, pricing may end in a bound *flip*), so the basis
+//!   dimension is the number of genuine constraint rows — roughly half
+//!   of what explicit bound rows would cost on the retiming MILPs;
+//! * the basis is factorized as a **dense LU snapshot plus product-form
+//!   eta file** (`factor` module): each pivot appends one eta, FTRAN /
+//!   BTRAN apply triangular solves that are column-oriented with zero
+//!   skipping (cost tracks the fill-in of the sparse right-hand sides,
+//!   not `m²`), and the file is periodically flushed by refactorization;
+//! * pricing is Dantzig (most negative reduced cost) with an automatic
+//!   **Bland fallback** after a long degenerate run — the structure is
+//!   steepest-edge-ready (pricing is a separate pass over the sparse
+//!   columns) but reference weights are not maintained yet;
+//! * a **dual simplex** reoptimizer repairs primal infeasibility after
+//!   right-hand-side or bound mutations from any dual-feasible basis.
+//!
+//! Branch & bound exploits that last point aggressively (**warm-start
+//! policy**): bound/rhs changes never disturb reduced costs, so any
+//! optimal basis anywhere in the tree is dual feasible for every node.
+//! The search therefore builds the LP once, mutates integer-column boxes
+//! in place as it branches, and dual-reoptimizes each node from whatever
+//! basis the previous node left behind — typically a handful of pivots
+//! and no refactorization. Fallbacks are layered (parent-basis install,
+//! then cold two-phase) and `SolverOptions { warm_start: false, .. }`
+//! forces cold node solves for A/B comparisons.
+//!
+//! The original dense full-tableau two-phase simplex is retained as a
+//! **cross-validation oracle** ([`Kernel::DenseTableau`]): an
+//! independent implementation whose objectives and feasibility verdicts
+//! the property tests compare against on random LPs/MILPs, and the
+//! baseline the `milp_scaling` bench measures speedups over
+//! (`BENCH_milp.json`).
+//!
+//! Numerics are deliberately tolerance-based (no exact arithmetic): the
+//! retiming/recycling MILPs have at most a few thousand rows and very
+//! well-conditioned {-1, 0, 1, τ*} coefficient structure.
 //!
 //! # Example
 //!
@@ -38,14 +76,16 @@
 
 mod branch_bound;
 mod expr;
+mod factor;
 mod model;
+mod revised;
 mod simplex;
 mod solution;
 mod standard;
 
 pub use branch_bound::{solve_with_stats, solve_with_stats_hinted, BranchBoundStats};
 pub use expr::{LinExpr, VarId};
-pub use model::{cmp, CmpOp, Constraint, Model, Sense, SolverOptions, Variable};
+pub use model::{cmp, CmpOp, Constraint, Kernel, Model, Sense, SolverOptions, Variable};
 pub use solution::{Solution, SolveError, Status};
 
 #[cfg(test)]

@@ -114,6 +114,20 @@ impl Constraint {
     }
 }
 
+/// Which simplex kernel solves the LP relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Revised simplex: sparse columns, LU-factorized basis with
+    /// product-form eta updates, dual-simplex warm starts in branch &
+    /// bound. The production kernel.
+    #[default]
+    Revised,
+    /// The original dense full-tableau two-phase simplex, kept as a
+    /// cross-validation oracle (and for A/B benchmarking). Branch & bound
+    /// re-solves every node from scratch with this kernel.
+    DenseTableau,
+}
+
 /// Resource limits and tolerances for the solver.
 ///
 /// The defaults match what the reproduction harness needs; the paper used a
@@ -136,6 +150,13 @@ pub struct SolverOptions {
     /// Stop as soon as an incumbent is within `gap_tol` (relative) of the
     /// best LP bound.
     pub gap_tol: f64,
+    /// LP kernel selection (see [`Kernel`]).
+    pub kernel: Kernel,
+    /// Warm-start branch & bound nodes from the parent basis via dual
+    /// simplex (only the [`Kernel::Revised`] kernel supports this; with
+    /// `false` every node is solved two-phase from scratch, which is the
+    /// configuration the warm-start regression tests compare against).
+    pub warm_start: bool,
 }
 
 impl Default for SolverOptions {
@@ -152,6 +173,8 @@ impl Default for SolverOptions {
             max_pivots: 2_000_000,
             rounding_heuristic: true,
             gap_tol: 1e-9,
+            kernel: Kernel::Revised,
+            warm_start: true,
         }
     }
 }
@@ -379,15 +402,41 @@ impl Model {
     ///
     /// See [`Model::solve`].
     pub fn solve_relaxation(&self, opts: &SolverOptions) -> Result<Solution, SolveError> {
-        let sf = StandardForm::build(self);
-        let raw = simplex::solve(&sf, opts)?;
-        let values = sf.recover(&raw);
+        self.solve_relaxation_counted(opts).map(|(sol, _)| sol)
+    }
+
+    /// Like [`Model::solve_relaxation`], additionally reporting the
+    /// number of simplex pivots the solve took (perf telemetry for the
+    /// scaling benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_relaxation_counted(
+        &self,
+        opts: &SolverOptions,
+    ) -> Result<(Solution, usize), SolveError> {
+        let (values, pivots) = match opts.kernel {
+            Kernel::Revised => {
+                let bf = crate::standard::BoxedForm::build(self);
+                let (raw, pivots) = crate::revised::solve(&bf, opts)?;
+                (bf.sf.recover(&raw), pivots)
+            }
+            Kernel::DenseTableau => {
+                let sf = StandardForm::build(self);
+                let (raw, pivots) = simplex::solve(&sf, opts)?;
+                (sf.recover(&raw), pivots)
+            }
+        };
         let objective = self.objective.eval(&values);
-        Ok(Solution {
-            values,
-            objective,
-            status: Status::Optimal,
-        })
+        Ok((
+            Solution {
+                values,
+                objective,
+                status: Status::Optimal,
+            },
+            pivots,
+        ))
     }
 }
 

@@ -7,11 +7,17 @@
 //! * returned points satisfy every bound and constraint,
 //! * integer variables are integral,
 //! * the objective is at least as good as the planted point,
-//! * the MILP optimum never beats its own LP relaxation.
+//! * the MILP optimum never beats its own LP relaxation,
+//! * and — the **kernel oracle** — the revised simplex
+//!   ([`crate::Kernel::Revised`], warm-started and cold) and the dense
+//!   tableau ([`crate::Kernel::DenseTableau`]) agree on objective values
+//!   and feasibility verdicts, including on *unplanted* instances that
+//!   may be infeasible.
 
 use proptest::prelude::*;
 
-use crate::model::{cmp, Model, Sense, SolverOptions};
+use crate::model::{cmp, Kernel, Model, Sense, SolverOptions};
+use crate::solution::SolveError;
 use crate::LinExpr;
 
 /// A randomly generated model together with a feasible point.
@@ -126,6 +132,109 @@ proptest! {
             prop_assert!(sol.objective <= relax.objective + 1e-5);
         } else {
             prop_assert!(sol.objective >= relax.objective - 1e-5);
+        }
+    }
+
+    /// Revised vs dense-tableau oracle on planted (feasible) LPs.
+    #[test]
+    fn kernels_agree_on_lp_objectives(lp in planted_lp(6, 5)) {
+        let relaxed = PlantedLp {
+            integers: vec![false; lp.nvars],
+            ..lp.clone()
+        };
+        let (m, _vars) = relaxed.build();
+        let revised = m.solve_with(&SolverOptions::default()).unwrap();
+        let dense = m
+            .solve_with(&SolverOptions { kernel: Kernel::DenseTableau, ..Default::default() })
+            .unwrap();
+        prop_assert!(
+            (revised.objective - dense.objective).abs() < 1e-6,
+            "revised {} vs dense {}",
+            revised.objective,
+            dense.objective
+        );
+    }
+
+    /// Revised (warm and cold B&B) vs dense-tableau oracle on planted
+    /// (feasible) MILPs: same optimum, and the returned points are
+    /// feasible under either kernel.
+    #[test]
+    fn kernels_agree_on_milp_objectives(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let base = SolverOptions { max_nodes: 2_000, ..Default::default() };
+        let warm = m.solve_with(&base).unwrap();
+        let cold = m
+            .solve_with(&SolverOptions { warm_start: false, ..base.clone() })
+            .unwrap();
+        let dense = m
+            .solve_with(&SolverOptions { kernel: Kernel::DenseTableau, ..base.clone() })
+            .unwrap();
+        prop_assert!(m.max_violation(warm.values(), 1e-6) < 1e-5);
+        prop_assert!(
+            (warm.objective - dense.objective).abs() < 1e-6,
+            "warm {} vs dense {}",
+            warm.objective,
+            dense.objective
+        );
+        prop_assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    /// Unplanted instances may be infeasible; both kernels must return
+    /// the *same verdict* (and the same objective when feasible). Bounded
+    /// variables rule out unboundedness, so the only verdicts are
+    /// Optimal and Infeasible.
+    #[test]
+    fn kernels_agree_on_feasibility_verdicts(
+        nv in 2usize..5,
+        nr in 1usize..5,
+        coeffs in prop::collection::vec(-4i32..=4, 25),
+        rhs in prop::collection::vec(-6i32..=6, 5),
+        ops in prop::collection::vec(any::<bool>(), 5),
+        ints in prop::collection::vec(any::<bool>(), 5),
+        obj in prop::collection::vec(-3i32..=3, 5),
+    ) {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..nv)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, 4.0, ints[i]))
+            .collect();
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            e += (obj[i] as f64) * v;
+        }
+        m.set_objective(e);
+        for r in 0..nr {
+            let mut row = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                row += (coeffs[(r * nv + i) % coeffs.len()] as f64) * v;
+            }
+            // Mix of == (hard to satisfy, often infeasible) and >=.
+            let op = if ops[r] { cmp::EQ } else { cmp::GE };
+            m.add_constraint(row, op, rhs[r] as f64);
+        }
+        let revised = m.solve_with(&SolverOptions::default());
+        let dense = m.solve_with(&SolverOptions {
+            kernel: Kernel::DenseTableau,
+            ..Default::default()
+        });
+        match (revised, dense) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "objectives diverge: revised {} vs dense {}",
+                a.objective,
+                b.objective
+            ),
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "verdicts diverge: revised {:?} vs dense {:?}",
+                a.map(|s| s.objective),
+                b.map(|s| s.objective)
+            ),
         }
     }
 }

@@ -1,0 +1,1093 @@
+//! Revised simplex kernel with **bounded variables**, on [`BoxedForm`].
+//!
+//! Where the dense oracle ([`crate::simplex`]) updates an `(m+1) × width`
+//! tableau on every pivot, this kernel keeps the constraint matrix as
+//! **sparse columns**, the basis as an LU snapshot plus product-form eta
+//! file ([`crate::factor`]), and — crucially — variable bounds on the
+//! *columns* (`l ≤ y ≤ u`) rather than as extra rows. Nonbasic columns
+//! rest at either bound; the entering step may terminate in a **bound
+//! flip** (no basis change at all). Compared to the row-bounded layout
+//! this roughly halves the basis dimension of the retiming MILPs, which
+//! every FTRAN/BTRAN and refactorization pays for directly.
+//!
+//! Three entry points matter:
+//!
+//! * [`Revised::solve_two_phase`] — cold start: crash basis, phase 1 over
+//!   signed artificials (dropped permanently once they leave the basis),
+//!   phase 2 over the real costs. Dantzig pricing with a Bland fallback
+//!   after a long degenerate run, mirroring the oracle.
+//! * [`Revised::dual_reopt`] — warm start: from any **dual-feasible**
+//!   basis (rc ≥ 0 at lower bounds, rc ≤ 0 at upper bounds — a property
+//!   rhs and bound changes cannot disturb), dual simplex pivots repair
+//!   the primal infeasibility introduced by branching. Because any
+//!   optimal basis anywhere in the branch & bound tree is dual feasible
+//!   for *every* node, the search runs as one continuous simplex process
+//!   with in-place bound mutations and no per-node refactorization.
+//! * [`Revised::set_col_bounds`] / [`Revised::set_rhs`] — mutate a
+//!   column's box or a row's right-hand side in place; `x_B` is lazily
+//!   resynced by one sparse FTRAN at the next pivot run.
+
+use crate::factor::{Eta, Factor};
+use crate::model::SolverOptions;
+use crate::solution::SolveError;
+use crate::standard::BoxedForm;
+
+/// Outcome of a pivoting phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// A resumable basis description: which column is basic in each row and
+/// which nonbasic columns rest at their upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BasisState {
+    basis: Vec<usize>,
+    at_upper: Vec<bool>,
+}
+
+/// The bounded-variable revised simplex kernel; see the module docs.
+pub(crate) struct Revised {
+    /// Constraint rows.
+    m: usize,
+    /// Real (structural + slack/surplus) columns.
+    n: usize,
+    /// Sparse columns of `A`: `cols[j]` = `(row, value)` entries.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand side (mutable across branch & bound nodes).
+    b: Vec<f64>,
+    /// Phase-2 minimization costs, length `n`.
+    cost: Vec<f64>,
+    /// Column boxes (mutable across branch & bound nodes), length `n`.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Basic column of each row. Indices `>= n` are artificials: index
+    /// `n + 2r` is the `+1` unit column of row `r`, `n + 2r + 1` the `-1`
+    /// one (signed so a crash basis is feasible for either rhs sign);
+    /// artificial boxes are `[0, ∞)`.
+    basis: Vec<usize>,
+    /// Membership flags, length `n + 2m`.
+    in_basis: Vec<bool>,
+    /// Nonbasic-at-upper flags for real columns, length `n`.
+    at_upper: Vec<bool>,
+    /// Values of the basic variables.
+    xb: Vec<f64>,
+    /// Rhs-space deltas accumulated since `xb` was last synced (`x_B`
+    /// must be corrected by `B⁻¹·w` via one sparse FTRAN).
+    pending: Vec<(usize, f64)>,
+    factor: Option<Factor>,
+    /// `true` while the current basis is known dual feasible for the
+    /// phase-2 costs — the precondition for warm-starting
+    /// [`Revised::dual_reopt`] in place. Dual pivots preserve it; primal
+    /// phase-1 pivots and interrupted primal runs clear it.
+    dual_ok: bool,
+    /// Simplex pivots (incl. bound flips) performed by this instance.
+    pub iters: usize,
+}
+
+impl Revised {
+    /// Builds the kernel over a bounded-variable form (no basis yet).
+    pub fn new(bf: &BoxedForm) -> Revised {
+        let m = bf.sf.rows.len();
+        let n = bf.sf.ncols;
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (r, row) in bf.sf.rows.iter().enumerate() {
+            for &(c, v) in row {
+                cols[c].push((r, v));
+            }
+        }
+        Revised {
+            m,
+            n,
+            cols,
+            b: bf.sf.rhs.clone(),
+            cost: bf.sf.cost.clone(),
+            lower: vec![0.0; n],
+            upper: bf.col_upper.clone(),
+            basis: vec![usize::MAX; m],
+            in_basis: vec![false; n + 2 * m],
+            at_upper: vec![false; n],
+            xb: vec![0.0; m],
+            pending: Vec::new(),
+            factor: None,
+            dual_ok: false,
+            iters: 0,
+        }
+    }
+
+    /// `(rows, real columns)` of the LP.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// `true` when the current basis is dual feasible and factorized, so
+    /// [`Revised::dual_reopt`] may run in place.
+    pub fn dual_ok(&self) -> bool {
+        self.dual_ok && self.factor.is_some()
+    }
+
+    /// Overwrites one row's right-hand side. `x_B` is lazily corrected
+    /// by a sparse FTRAN at the next pivot run; dual feasibility is
+    /// unaffected. (Branch & bound mutates column boxes instead, but rhs
+    /// mutation is the natural hook for future cut management — kept
+    /// under test in this module.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn set_rhs(&mut self, row: usize, value: f64) {
+        let delta = value - self.b[row];
+        if delta != 0.0 {
+            self.b[row] = value;
+            if self.factor.is_some() {
+                self.pending.push((row, delta));
+            }
+        }
+    }
+
+    /// Rewrites a column's box `[l, u]` (branch & bound bound
+    /// tightening). A nonbasic column keeps its lower/upper state, and
+    /// the value shift is queued as a sparse `x_B` correction; a basic
+    /// column that now violates its box is repaired by the next
+    /// [`Revised::dual_reopt`]. Dual feasibility is unaffected.
+    pub fn set_col_bounds(&mut self, j: usize, l: f64, u: f64) {
+        debug_assert!(j < self.n && l <= u + 1e-9);
+        if self.in_basis[j] {
+            self.lower[j] = l;
+            self.upper[j] = u;
+            return;
+        }
+        let old = self.nb_value(j);
+        self.lower[j] = l;
+        self.upper[j] = u;
+        if self.at_upper[j] && !u.is_finite() {
+            self.at_upper[j] = false;
+        }
+        let new = self.nb_value(j);
+        let dv = new - old;
+        if dv != 0.0 && self.factor.is_some() {
+            // x_B += B⁻¹·(−A_j·dv), queued sparsely.
+            for &(r, a) in &self.cols[j] {
+                self.pending.push((r, -a * dv));
+            }
+        }
+    }
+
+    /// The current basis/state, for warm-start snapshots.
+    pub fn basis_snapshot(&self) -> BasisState {
+        BasisState {
+            basis: self.basis.clone(),
+            at_upper: self.at_upper.clone(),
+        }
+    }
+
+    /// `true` when some basic artificial sits at a non-zero value — the
+    /// "solution" would violate a constraint and must not be trusted.
+    pub fn has_active_artificial(&self, tol: f64) -> bool {
+        (0..self.m).any(|r| self.basis[r] >= self.n && self.xb[r].abs() > tol)
+    }
+
+    /// Primal solution over the real columns (basic values clamped into
+    /// their boxes to shed round-off).
+    pub fn values(&self) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..self.n).map(|j| self.nb_value(j)).collect();
+        for r in 0..self.m {
+            let j = self.basis[r];
+            if j < self.n {
+                x[j] = self.xb[r].clamp(self.lower[j], self.upper[j].max(self.lower[j]));
+            }
+        }
+        x
+    }
+
+    // --- column access ---------------------------------------------------
+
+    /// Resting value of a nonbasic real column.
+    #[inline]
+    fn nb_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] {
+            self.upper[j]
+        } else {
+            self.lower[j]
+        }
+    }
+
+    /// Box of any column (artificials live in `[0, ∞)`).
+    #[inline]
+    fn box_of(&self, j: usize) -> (f64, f64) {
+        if j < self.n {
+            (self.lower[j], self.upper[j])
+        } else {
+            (0.0, f64::INFINITY)
+        }
+    }
+
+    #[inline]
+    fn for_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+        if j < self.n {
+            for &(r, v) in &self.cols[j] {
+                f(r, v);
+            }
+        } else {
+            let k = j - self.n;
+            f(k / 2, if k % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[inline]
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let mut s = 0.0;
+        self.for_col(j, |r, v| s += v * y[r]);
+        s
+    }
+
+    #[inline]
+    fn cost_of(&self, j: usize, phase1: bool) -> f64 {
+        if phase1 {
+            if j < self.n {
+                0.0
+            } else {
+                1.0
+            }
+        } else if j < self.n {
+            self.cost[j]
+        } else {
+            0.0
+        }
+    }
+
+    // --- factorization ---------------------------------------------------
+
+    /// Refactorizes the current basis; on failure the stale factorization
+    /// is dropped so the kernel cannot be trusted until the next
+    /// successful cold solve or install.
+    fn refactor(&mut self) -> Result<(), SolveError> {
+        let factor = Factor::refactor(self.m, |slot, scratch| {
+            self.for_col(self.basis[slot], |r, v| scratch[r] = v);
+        });
+        match factor {
+            Some(f) => {
+                self.factor = Some(f);
+                Ok(())
+            }
+            None => {
+                self.factor = None;
+                self.dual_ok = false;
+                Err(SolveError::Numerical("singular basis".into()))
+            }
+        }
+    }
+
+    /// Recomputes `x_B = B⁻¹·(b − Σ_{nonbasic} A_j·value_j)` from scratch.
+    fn compute_xb(&mut self) {
+        let mut x = self.b.clone();
+        for j in 0..self.n {
+            if !self.in_basis[j] {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    for &(r, a) in &self.cols[j] {
+                        x[r] -= a * v;
+                    }
+                }
+            }
+        }
+        self.factor.as_ref().expect("factorized").ftran(&mut x);
+        self.xb = x;
+        self.pending.clear();
+    }
+
+    /// Applies pending rhs/bound deltas to `x_B` via one sparse FTRAN.
+    fn sync_xb(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut delta = vec![0.0; self.m];
+        for &(row, d) in &self.pending {
+            delta[row] += d;
+        }
+        self.pending.clear();
+        self.factor.as_ref().expect("factorized").ftran(&mut delta);
+        for (x, d) in self.xb.iter_mut().zip(delta) {
+            *x += d;
+        }
+    }
+
+    /// Installs an externally supplied basis state (e.g. a parent
+    /// node's) and recomputes `x_B`. When the basis columns match the
+    /// ones already factorized only the state and `x_B` are refreshed.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Numerical`] when the basis is singular.
+    pub fn install_basis(&mut self, state: &BasisState) -> Result<(), SolveError> {
+        assert_eq!(state.basis.len(), self.m, "basis size mismatch");
+        // Nonbasic columns pinned above their (branch-tightened) box
+        // would corrupt x_B; clamp the resting side to the tighter bound.
+        self.at_upper.copy_from_slice(&state.at_upper);
+        for j in 0..self.n {
+            if self.at_upper[j] && !self.upper[j].is_finite() {
+                self.at_upper[j] = false;
+            }
+        }
+        if self.factor.is_some() && self.basis == state.basis {
+            self.compute_xb();
+            return Ok(());
+        }
+        self.in_basis.iter_mut().for_each(|x| *x = false);
+        self.basis.copy_from_slice(&state.basis);
+        for &j in &state.basis {
+            self.in_basis[j] = true;
+        }
+        // An arbitrary basis has unknown reduced costs until a pivot run
+        // re-establishes them (the warm-start caller installs a parent
+        // *optimal* basis and immediately dual-reoptimizes).
+        self.dual_ok = false;
+        self.refactor()?;
+        self.compute_xb();
+        Ok(())
+    }
+
+    /// Direction `d = B⁻¹ A_j`.
+    fn direction(&self, j: usize) -> Vec<f64> {
+        let mut d = vec![0.0; self.m];
+        self.for_col(j, |r, v| d[r] = v);
+        self.factor.as_ref().expect("factorized").ftran(&mut d);
+        d
+    }
+
+    /// Duals `y = B⁻ᵀ c_B` for the given phase.
+    fn duals(&self, phase1: bool) -> Vec<f64> {
+        let mut y: Vec<f64> = (0..self.m)
+            .map(|r| self.cost_of(self.basis[r], phase1))
+            .collect();
+        self.factor.as_ref().expect("factorized").btran(&mut y);
+        y
+    }
+
+    /// Executes the basis change `basis[prow] := enter`: the entering
+    /// column moves by `sigma·t` from its resting value, the leaving
+    /// variable parks at its upper bound when `leave_to_upper`.
+    fn pivot(
+        &mut self,
+        prow: usize,
+        enter: usize,
+        sigma: f64,
+        t: f64,
+        d: Vec<f64>,
+        leave_to_upper: bool,
+    ) -> Result<(), SolveError> {
+        let pivot = d[prow];
+        debug_assert!(pivot.abs() > 1e-12, "pivot on a zero element");
+        let enter_value = self.nb_value_any(enter) + sigma * t;
+        for (x, &di) in self.xb.iter_mut().zip(d.iter()) {
+            *x -= sigma * t * di;
+        }
+        self.xb[prow] = enter_value;
+        let leaving = self.basis[prow];
+        self.in_basis[leaving] = false;
+        if leaving < self.n {
+            self.at_upper[leaving] = leave_to_upper;
+        }
+        self.basis[prow] = enter;
+        self.in_basis[enter] = true;
+        let others: Vec<(usize, f64)> = d
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != prow && v.abs() > 1e-12)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.factor.as_mut().expect("factorized").push(Eta {
+            row: prow,
+            pivot,
+            others,
+        });
+        self.iters += 1;
+        if self.factor.as_ref().expect("factorized").needs_refactor() {
+            self.refactor()?;
+            self.compute_xb();
+        }
+        Ok(())
+    }
+
+    /// Resting value of any nonbasic column (artificials rest at 0).
+    #[inline]
+    fn nb_value_any(&self, j: usize) -> f64 {
+        if j < self.n {
+            self.nb_value(j)
+        } else {
+            0.0
+        }
+    }
+
+    // --- crash basis -----------------------------------------------------
+
+    /// Chooses an initial basis: per row a singleton real column whose
+    /// implied basic value lies inside its box (slack/surplus columns
+    /// qualify by construction), otherwise a signed artificial.
+    fn crash(&mut self) {
+        self.dual_ok = false;
+        self.in_basis.iter_mut().for_each(|x| *x = false);
+        // A cold solve starts from scratch: every column rests at its
+        // lower bound (persisting upper-bound states would smuggle
+        // warm-start information into the from-scratch baseline).
+        self.at_upper.iter_mut().for_each(|x| *x = false);
+        // Effective rhs with every real column resting at its current
+        // bound value.
+        let mut beff = self.b.clone();
+        for j in 0..self.n {
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    beff[r] -= a * v;
+                }
+            }
+        }
+        // Singleton columns, highest index first (auxiliary columns are
+        // appended last and carry zero cost — same preference the dense
+        // oracle uses).
+        let mut choice: Vec<Option<usize>> = vec![None; self.m];
+        for j in 0..self.n {
+            if let [(r, v)] = self.cols[j][..] {
+                if v.abs() > 1e-9 {
+                    // Entering the basis removes the column's own resting
+                    // contribution from the effective rhs.
+                    let basic_val = (beff[r] + v * self.nb_value(j)) / v;
+                    if basic_val >= self.lower[j] - 1e-9
+                        && basic_val <= self.upper[j] + 1e-9
+                    {
+                        // Ascending scan: the last qualifying column is
+                        // the highest-index (auxiliary) one.
+                        choice[r] = Some(j);
+                    }
+                }
+            }
+        }
+        for r in 0..self.m {
+            let j = match choice[r] {
+                Some(j) => j,
+                None => {
+                    if beff[r] >= 0.0 {
+                        self.n + 2 * r
+                    } else {
+                        self.n + 2 * r + 1
+                    }
+                }
+            };
+            self.basis[r] = j;
+            self.in_basis[j] = true;
+        }
+    }
+
+    // --- primal simplex --------------------------------------------------
+
+    /// Entering column: Dantzig (largest dual violation) or Bland (first)
+    /// over the real nonbasic columns. At the lower bound a negative
+    /// reduced cost improves; at the upper bound a positive one does.
+    fn price(&self, y: &[f64], phase1: bool, bland: bool, tol: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_score = tol;
+        for j in 0..self.n {
+            if self.in_basis[j] || self.upper[j] - self.lower[j] <= 0.0 {
+                continue;
+            }
+            let rc = self.cost_of(j, phase1) - self.col_dot(j, y);
+            let score = if self.at_upper[j] { rc } else { -rc };
+            if score > best_score {
+                if bland {
+                    return Some(j);
+                }
+                best_score = score;
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Bounded-variable ratio test for an entering column moving by
+    /// `sigma·t`, `t ≥ 0`: the smallest `t` at which a basic variable
+    /// hits a bound, capped by the entering column's own span (a bound
+    /// flip). Returns `(t, blocking_row, leaving_to_upper)`; a `None`
+    /// row at finite `t` is a flip, `t = ∞` means unbounded.
+    fn ratio_test(
+        &self,
+        sigma: f64,
+        d: &[f64],
+        bland: bool,
+    ) -> (f64, Option<usize>, bool) {
+        let tol = 1e-9;
+        let mut best_t = f64::INFINITY;
+        let mut best_row: Option<usize> = None;
+        let mut best_to_upper = false;
+        let mut best_piv = 0.0f64;
+        for r in 0..self.m {
+            let delta = sigma * d[r]; // xb[r] decreases by delta·t
+            let (lb, ub) = self.box_of(self.basis[r]);
+            let (t_r, to_upper) = if delta > tol {
+                (((self.xb[r] - lb).max(0.0)) / delta, false)
+            } else if delta < -tol {
+                if ub.is_finite() {
+                    (((ub - self.xb[r]).max(0.0)) / -delta, true)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+            let better = if bland {
+                t_r < best_t - 1e-12
+                    || (t_r < best_t + 1e-12
+                        && best_row.is_some_and(|br| self.basis[r] < self.basis[br]))
+            } else {
+                t_r < best_t - 1e-9 || (t_r < best_t + 1e-9 && delta.abs() > best_piv)
+            };
+            if better {
+                best_t = t_r;
+                best_row = Some(r);
+                best_to_upper = to_upper;
+                best_piv = delta.abs();
+            }
+        }
+        (best_t, best_row, best_to_upper)
+    }
+
+    /// Runs primal pivots for one phase until optimal/unbounded.
+    fn run_primal(
+        &mut self,
+        phase1: bool,
+        opts: &SolverOptions,
+        pivots_left: &mut usize,
+    ) -> Result<PhaseEnd, SolveError> {
+        self.sync_xb();
+        self.dual_ok = false;
+        let mut degenerate_run = 0usize;
+        let switch_after = 4 * (self.m + self.n);
+        let mut bland = false;
+        loop {
+            if *pivots_left == 0 {
+                return Err(SolveError::IterationLimit);
+            }
+            let y = self.duals(phase1);
+            let Some(enter) = self.price(&y, phase1, bland, opts.feas_tol) else {
+                if !phase1 {
+                    // Phase-2 optimality: the basis is dual feasible.
+                    self.dual_ok = true;
+                }
+                return Ok(PhaseEnd::Optimal);
+            };
+            let sigma = if self.at_upper[enter] { -1.0 } else { 1.0 };
+            let d = self.direction(enter);
+            let (t_block, block, to_upper) = self.ratio_test(sigma, &d, bland);
+            let span = self.upper[enter] - self.lower[enter];
+            let t = t_block.min(span);
+            if !t.is_finite() {
+                return Ok(PhaseEnd::Unbounded);
+            }
+            if span <= t_block {
+                // Bound flip: the entering column crosses to its other
+                // bound before any basic variable blocks.
+                for (x, &di) in self.xb.iter_mut().zip(d.iter()) {
+                    *x -= sigma * span * di;
+                }
+                self.at_upper[enter] = !self.at_upper[enter];
+                self.iters += 1;
+            } else {
+                let prow = block.expect("finite blocking t without a row");
+                self.pivot(prow, enter, sigma, t, d, to_upper)?;
+            }
+            *pivots_left -= 1;
+            if t.abs() <= 1e-12 {
+                degenerate_run += 1;
+                if degenerate_run > switch_after {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+                bland = false;
+            }
+        }
+    }
+
+    /// Cold start: crash, phase 1, phase 2.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::IterationLimit`] or [`SolveError::Numerical`].
+    pub fn solve_two_phase(
+        &mut self,
+        opts: &SolverOptions,
+        pivots_left: &mut usize,
+    ) -> Result<(), SolveError> {
+        self.crash();
+        self.refactor()?;
+        self.compute_xb();
+
+        if (0..self.m).any(|r| self.basis[r] >= self.n) {
+            match self.run_primal(true, opts, pivots_left)? {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => {
+                    return Err(SolveError::Numerical("phase-1 unbounded".into()));
+                }
+            }
+            let phase1_obj: f64 = (0..self.m)
+                .filter(|&r| self.basis[r] >= self.n)
+                .map(|r| self.xb[r].max(0.0))
+                .sum();
+            if phase1_obj > 1e-6 {
+                return Err(SolveError::Infeasible);
+            }
+            self.drive_out_artificials(pivots_left)?;
+        }
+
+        match self.run_primal(false, opts, pivots_left)? {
+            PhaseEnd::Optimal => Ok(()),
+            PhaseEnd::Unbounded => Err(SolveError::Unbounded),
+        }
+    }
+
+    /// Pivots zero-valued basic artificials out of the basis where a real
+    /// column can replace them (rows that stay artificial are redundant).
+    fn drive_out_artificials(&mut self, pivots_left: &mut usize) -> Result<(), SolveError> {
+        for r in 0..self.m {
+            if self.basis[r] < self.n {
+                continue;
+            }
+            let mut rho = vec![0.0; self.m];
+            rho[r] = 1.0;
+            self.factor.as_ref().expect("factorized").btran(&mut rho);
+            let enter = (0..self.n).find(|&j| {
+                !self.in_basis[j]
+                    && self.upper[j] > self.lower[j]
+                    && self.col_dot(j, &rho).abs() > 1e-7
+            });
+            if let Some(enter) = enter {
+                let d = self.direction(enter);
+                if d[r].abs() > 1e-9 {
+                    // Degenerate swap: the artificial sits at 0, so the
+                    // entering column does not move (t = 0).
+                    self.pivot(r, enter, 1.0, 0.0, d, false)?;
+                    *pivots_left = pivots_left.saturating_sub(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- dual simplex ----------------------------------------------------
+
+    /// Reoptimizes after rhs/bound changes from a dual-feasible basis:
+    /// dual simplex pivots until every basic variable is inside its box.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the dual is unbounded (the node LP
+    /// has no feasible point), [`SolveError::IterationLimit`] when the
+    /// budget runs out mid-repair (caller should fall back to a cold
+    /// solve) and [`SolveError::Numerical`] on factorization trouble.
+    pub fn dual_reopt(
+        &mut self,
+        opts: &SolverOptions,
+        pivots_left: &mut usize,
+    ) -> Result<(), SolveError> {
+        self.sync_xb();
+        // Dual pivots preserve dual feasibility, so the flag stays set
+        // across every exit except numerical failure — including
+        // Infeasible (dual unbounded) and IterationLimit, after which
+        // the basis is still a valid warm-start seed.
+        self.dual_ok = true;
+        let tol = opts.feas_tol;
+        let mut just_refactored = false;
+        loop {
+            // Leaving row: worst box violation among basic variables.
+            let mut prow: Option<usize> = None;
+            let mut worst = tol;
+            let mut below = false;
+            for r in 0..self.m {
+                let (lb, ub) = self.box_of(self.basis[r]);
+                let under = lb - self.xb[r];
+                let over = self.xb[r] - ub;
+                if under > worst {
+                    worst = under;
+                    prow = Some(r);
+                    below = true;
+                }
+                if over > worst {
+                    worst = over;
+                    prow = Some(r);
+                    below = false;
+                }
+            }
+            let Some(prow) = prow else {
+                return Ok(()); // primal feasible (and still dual feasible)
+            };
+            if *pivots_left == 0 {
+                return Err(SolveError::IterationLimit);
+            }
+
+            // Row prow of B⁻¹A and current duals.
+            let mut rho = vec![0.0; self.m];
+            rho[prow] = 1.0;
+            self.factor.as_ref().expect("factorized").btran(&mut rho);
+            let y = self.duals(false);
+
+            // Dual ratio test. The leaving variable must move toward the
+            // violated bound: entering column j moving by `sigma_j·μ`
+            // (μ > 0) changes xb[prow] by −sigma_j·alpha_j·μ, which must
+            // have the repairing sign. Ratio = |rc_j| / |alpha_j|; ties
+            // break toward the larger pivot magnitude.
+            let mut enter: Option<(usize, f64)> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.n {
+                if self.in_basis[j] || self.upper[j] - self.lower[j] <= 0.0 {
+                    continue;
+                }
+                let alpha = self.col_dot(j, &rho);
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+                // Need −sigma·alpha > 0 when below (raise xb), < 0 when
+                // above (lower xb).
+                let effect = -sigma * alpha;
+                if (below && effect <= 1e-9) || (!below && effect >= -1e-9) {
+                    continue;
+                }
+                let rc = self.cost_of(j, false) - self.col_dot(j, &y);
+                // Dual feasibility: rc ≥ 0 at lower, ≤ 0 at upper; clamp
+                // round-off.
+                let num = if self.at_upper[j] { (-rc).max(0.0) } else { rc.max(0.0) };
+                let ratio = num / alpha.abs();
+                if ratio < best_ratio - 1e-9
+                    || (ratio < best_ratio + 1e-9 && alpha.abs() > best_alpha)
+                {
+                    best_ratio = ratio;
+                    enter = Some((j, sigma));
+                    best_alpha = alpha.abs();
+                }
+            }
+            let Some((enter, sigma)) = enter else {
+                // Dual unbounded: the violated row cannot be repaired.
+                return Err(SolveError::Infeasible);
+            };
+            let d = self.direction(enter);
+            if d[prow].abs() <= 1e-9 {
+                // Factorization drift: the FTRAN direction disagrees with
+                // the BTRAN row. Refactorize, recompute x_B, and restart
+                // the iteration — the corrected x_B may change which row
+                // (if any) is violated, so the stale (prow, below, enter)
+                // selection must not be pivoted on.
+                if just_refactored {
+                    self.dual_ok = false;
+                    return Err(SolveError::Numerical("dual pivot vanished".into()));
+                }
+                self.refactor()?;
+                self.compute_xb();
+                just_refactored = true;
+                continue;
+            }
+            just_refactored = false;
+            self.dual_pivot(prow, enter, sigma, below, d)?;
+            *pivots_left -= 1;
+        }
+    }
+
+    /// One dual pivot: drive `xb[prow]` exactly onto its violated bound.
+    fn dual_pivot(
+        &mut self,
+        prow: usize,
+        enter: usize,
+        sigma: f64,
+        below: bool,
+        d: Vec<f64>,
+    ) -> Result<(), SolveError> {
+        let (lb, ub) = self.box_of(self.basis[prow]);
+        let target = if below { lb } else { ub };
+        // xb[prow] − sigma·t·d[prow] = target
+        let t = (self.xb[prow] - target) / (sigma * d[prow]);
+        self.pivot(prow, enter, sigma, t.max(0.0), d, !below)
+    }
+
+    /// Primal phase-2 cleanup from the current (primal-feasible) basis.
+    ///
+    /// # Errors
+    ///
+    /// See [`Revised::solve_two_phase`].
+    pub fn primal_opt(
+        &mut self,
+        opts: &SolverOptions,
+        pivots_left: &mut usize,
+    ) -> Result<(), SolveError> {
+        match self.run_primal(false, opts, pivots_left)? {
+            PhaseEnd::Optimal => Ok(()),
+            PhaseEnd::Unbounded => Err(SolveError::Unbounded),
+        }
+    }
+}
+
+/// Solves `min c·y, A·y = b, l ≤ y ≤ u` with the revised kernel,
+/// returning the optimal `y` and the pivot count.
+///
+/// # Errors
+///
+/// See [`Revised::solve_two_phase`].
+pub(crate) fn solve(
+    bf: &BoxedForm,
+    opts: &SolverOptions,
+) -> Result<(Vec<f64>, usize), SolveError> {
+    if bf.sf.proven_infeasible {
+        return Err(SolveError::Infeasible);
+    }
+    if bf.sf.rows.is_empty() {
+        // No rows: optimize each boxed column independently.
+        let mut y = vec![0.0; bf.sf.ncols];
+        for j in 0..bf.sf.ncols {
+            let c = bf.sf.cost[j];
+            if c < -opts.feas_tol {
+                if !bf.col_upper[j].is_finite() {
+                    return Err(SolveError::Unbounded);
+                }
+                y[j] = bf.col_upper[j];
+            }
+        }
+        return Ok((y, 0));
+    }
+    let mut kernel = Revised::new(bf);
+    let mut pivots_left = opts.max_pivots;
+    kernel.solve_two_phase(opts, &mut pivots_left)?;
+    Ok((kernel.values(), kernel.iters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{cmp, Kernel, Model, Sense, SolverOptions};
+    use crate::LinExpr;
+
+    fn solve_model(m: &Model) -> Result<Vec<f64>, SolveError> {
+        let bf = BoxedForm::build(m);
+        let (y, _) = solve(&bf, &SolverOptions::default())?;
+        Ok(bf.sf.recover(&y))
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(3.0 * x + 5.0 * y);
+        m.add_constraint(LinExpr::var(x), cmp::LE, 4.0);
+        m.add_constraint(2.0 * y, cmp::LE, 12.0);
+        m.add_constraint(3.0 * x + 2.0 * y, cmp::LE, 18.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] - 2.0).abs() < 1e-7, "x = {}", v[0]);
+        assert!((v[1] - 6.0).abs() < 1e-7, "y = {}", v[1]);
+    }
+
+    #[test]
+    fn boxed_bounds_bind_without_rows() {
+        // max x + y, x ∈ [0, 2.5], y ∈ [1, 3], x + y <= 4 → (2.5, 1.5) or
+        // (1, 3): optimum value 4 with x at most 2.5 and y at least 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 2.5);
+        let y = m.add_continuous("y", 1.0, 3.0);
+        m.set_objective(x + LinExpr::var(y));
+        m.add_constraint(x + y, cmp::LE, 4.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] + v[1] - 4.0).abs() < 1e-7, "{v:?}");
+        assert!(v[0] <= 2.5 + 1e-9 && v[1] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn upper_bounded_objective_rests_at_upper() {
+        // max 2x + y with x ∈ [0, 3], y ∈ [0, 5] and a slack row; both
+        // variables should sit at their upper bounds (bound flips, no
+        // pivots needed beyond the crash).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 5.0);
+        m.set_objective(2.0 * x + y);
+        m.add_constraint(x + y, cmp::LE, 100.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] - 3.0).abs() < 1e-7 && (v[1] - 5.0).abs() < 1e-7, "{v:?}");
+    }
+
+    #[test]
+    fn equality_and_ge_rows_need_phase1() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(x + y);
+        m.add_constraint(x + y, cmp::EQ, 4.0);
+        m.add_constraint(x - y, cmp::GE, 1.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] + v[1] - 4.0).abs() < 1e-7);
+        assert!(v[0] - v[1] >= 1.0 - 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::var(x), cmp::LE, 1.0);
+        m.add_constraint(LinExpr::var(x), cmp::GE, 2.0);
+        assert_eq!(solve_model(&m).unwrap_err(), SolveError::Infeasible);
+
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(-1.0 * x, cmp::LE, 5.0);
+        assert_eq!(solve_model(&m).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_handled() {
+        // min x s.t. -x <= -3 (x >= 3): crash needs a signed artificial.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(-1.0 * x, cmp::LE, -3.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(x + y);
+        m.add_constraint(x + y, cmp::LE, 1.0);
+        m.add_constraint(x + 2.0 * y, cmp::LE, 1.0);
+        m.add_constraint(2.0 * x + y, cmp::LE, 1.0);
+        m.add_constraint(x - y, cmp::LE, 1.0);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] + v[1] - (2.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_reopt_tracks_col_bound_tightening() {
+        // max x + y s.t. x + y <= 6, x,y ∈ [0, 4] → obj 6. Tighten
+        // x ∈ [0, 1] via the column box: dual reopt lands on obj 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        m.set_objective(x + LinExpr::var(y));
+        m.add_constraint(x + y, cmp::LE, 6.0);
+        let bf = BoxedForm::build(&m);
+        let opts = SolverOptions::default();
+        let mut k = Revised::new(&bf);
+        let mut budget = opts.max_pivots;
+        k.solve_two_phase(&opts, &mut budget).unwrap();
+        let v0 = bf.sf.recover(&k.values());
+        assert!((v0[0] + v0[1] - 6.0).abs() < 1e-7, "{v0:?}");
+        assert!(k.dual_ok());
+
+        // x's standard-form column is column 0 (shifted by lb 0).
+        k.set_col_bounds(0, 0.0, 1.0);
+        k.dual_reopt(&opts, &mut budget).unwrap();
+        k.primal_opt(&opts, &mut budget).unwrap();
+        let v1 = bf.sf.recover(&k.values());
+        assert!(v1[0] <= 1.0 + 1e-7, "x = {}", v1[0]);
+        assert!((v1[0] + v1[1] - 5.0).abs() < 1e-6, "{v1:?}");
+    }
+
+    #[test]
+    fn dual_reopt_tracks_rhs_tightening() {
+        // Same model, tightening the constraint row's rhs instead.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        m.set_objective(x + LinExpr::var(y));
+        let row = m.add_constraint(x + y, cmp::LE, 6.0);
+        let bf = BoxedForm::build(&m);
+        let opts = SolverOptions::default();
+        let mut k = Revised::new(&bf);
+        let mut budget = opts.max_pivots;
+        k.solve_two_phase(&opts, &mut budget).unwrap();
+        k.set_rhs(row, 3.0);
+        k.dual_reopt(&opts, &mut budget).unwrap();
+        k.primal_opt(&opts, &mut budget).unwrap();
+        let v = bf.sf.recover(&k.values());
+        assert!((v[0] + v[1] - 3.0).abs() < 1e-6, "{v:?}");
+    }
+
+    #[test]
+    fn dual_reopt_detects_node_infeasibility() {
+        // x <= 2 (row) with box raised to [3, 4] is infeasible.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 4.0);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(LinExpr::var(x), cmp::LE, 2.0);
+        let bf = BoxedForm::build(&m);
+        let opts = SolverOptions::default();
+        let mut k = Revised::new(&bf);
+        let mut budget = opts.max_pivots;
+        k.solve_two_phase(&opts, &mut budget).unwrap();
+        k.set_col_bounds(0, 3.0, 4.0);
+        assert_eq!(
+            k.dual_reopt(&opts, &mut budget).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_across_perturbation() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        m.set_objective(2.0 * x + LinExpr::var(y));
+        m.add_constraint(x + y, cmp::LE, 5.0);
+        let bf = BoxedForm::build(&m);
+        let opts = SolverOptions::default();
+        let mut k = Revised::new(&bf);
+        let mut budget = opts.max_pivots;
+        k.solve_two_phase(&opts, &mut budget).unwrap();
+        let snap = k.basis_snapshot();
+        let obj0: f64 = {
+            let v = bf.sf.recover(&k.values());
+            2.0 * v[0] + v[1]
+        };
+        // Perturb: pin x to 0, reoptimize, then restore.
+        k.set_col_bounds(0, 0.0, 0.0);
+        k.dual_reopt(&opts, &mut budget).unwrap();
+        k.primal_opt(&opts, &mut budget).unwrap();
+        k.set_col_bounds(0, 0.0, 4.0);
+        k.install_basis(&snap).unwrap();
+        k.dual_reopt(&opts, &mut budget).unwrap();
+        k.primal_opt(&opts, &mut budget).unwrap();
+        let v = bf.sf.recover(&k.values());
+        assert!((2.0 * v[0] + v[1] - obj0).abs() < 1e-6, "{v:?} vs {obj0}");
+    }
+
+    #[test]
+    fn matches_dense_oracle_on_fixed_models() {
+        // A couple of LPs solved by both kernels must agree to 1e-9.
+        let build = |variant: usize| {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_continuous("x", 0.0, 10.0);
+            let y = m.add_continuous("y", -5.0, 5.0);
+            let z = m.add_free("z");
+            m.set_objective(3.0 * x - 2.0 * y + 0.5 * z);
+            m.add_constraint(x + y + z, cmp::GE, 2.0);
+            m.add_constraint(x - y, cmp::LE, 4.0);
+            if variant == 1 {
+                m.add_constraint(2.0 * x + z, cmp::EQ, 3.0);
+            }
+            m
+        };
+        for variant in 0..2 {
+            let m = build(variant);
+            let dense = {
+                let o = SolverOptions {
+                    kernel: Kernel::DenseTableau,
+                    ..Default::default()
+                };
+                m.solve_with(&o).unwrap().objective
+            };
+            let revised = m.solve().unwrap().objective;
+            assert!(
+                (dense - revised).abs() < 1e-9,
+                "variant {variant}: dense {dense} vs revised {revised}"
+            );
+        }
+    }
+}

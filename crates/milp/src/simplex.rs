@@ -1,4 +1,11 @@
-//! Dense two-phase primal simplex on [`StandardForm`].
+//! Dense two-phase primal simplex on [`StandardForm`] — the
+//! **cross-validation oracle** kernel ([`crate::Kernel::DenseTableau`]).
+//!
+//! The production solve path is the revised simplex in
+//! [`crate::revised`]; this tableau kernel is retained because it is a
+//! short, independent implementation whose answers the property tests
+//! compare against, and because it gives the scaling benchmarks a
+//! baseline to measure the revised kernel's speedup over.
 //!
 //! A classic full-tableau implementation:
 //!
@@ -180,13 +187,17 @@ fn run_phase(
     }
 }
 
-/// Solves `min c·y, A·y = b, y >= 0`, returning the optimal `y`.
+/// Solves `min c·y, A·y = b, y >= 0`, returning the optimal `y` and the
+/// pivot count.
 ///
 /// # Errors
 ///
 /// [`SolveError::Infeasible`], [`SolveError::Unbounded`] or
 /// [`SolveError::IterationLimit`].
-pub(crate) fn solve(sf: &StandardForm, opts: &SolverOptions) -> Result<Vec<f64>, SolveError> {
+pub(crate) fn solve(
+    sf: &StandardForm,
+    opts: &SolverOptions,
+) -> Result<(Vec<f64>, usize), SolveError> {
     if sf.proven_infeasible {
         return Err(SolveError::Infeasible);
     }
@@ -198,7 +209,7 @@ pub(crate) fn solve(sf: &StandardForm, opts: &SolverOptions) -> Result<Vec<f64>,
         if sf.cost.iter().any(|&c| c < -opts.feas_tol) {
             return Err(SolveError::Unbounded);
         }
-        return Ok(vec![0.0; n]);
+        return Ok((vec![0.0; n], 0));
     }
 
     // --- Assemble tableau with artificials -----------------------------
@@ -367,7 +378,7 @@ pub(crate) fn solve(sf: &StandardForm, opts: &SolverOptions) -> Result<Vec<f64>,
             y[b] = t.rhs(r).max(0.0);
         }
     }
-    Ok(y)
+    Ok((y, opts.max_pivots - pivots_left))
 }
 
 #[cfg(test)]
@@ -378,7 +389,7 @@ mod tests {
 
     fn solve_model(m: &Model) -> Result<Vec<f64>, SolveError> {
         let sf = StandardForm::build(m);
-        let y = solve(&sf, &SolverOptions::default())?;
+        let (y, _) = solve(&sf, &SolverOptions::default())?;
         Ok(sf.recover(&y))
     }
 

@@ -1,17 +1,28 @@
-//! Conversion of a [`Model`] into simplex standard form
-//! `min c·y  s.t.  A·y = b, y >= 0`.
+//! Conversion of a [`Model`] into simplex standard form.
+//!
+//! Two target shapes are produced:
+//!
+//! * [`StandardForm::build`] — the classic `min c·y, A·y = b, y >= 0`
+//!   form consumed by the dense-tableau oracle. Finite upper bounds
+//!   become explicit `y <= u - l` rows.
+//! * [`BoxedForm::build`] — the **bounded-variable** form consumed by
+//!   the revised kernel: `min c·y, A·y = b, l ≤ y ≤ u` with per-column
+//!   bounds and *no* bound rows at all. This keeps the row count (and
+//!   with it every factorization and triangular solve) proportional to
+//!   the real constraints, and lets branch & bound tighten an integer
+//!   variable by mutating its column bounds in place.
 //!
 //! The conversion handles the four bound shapes a model variable can have:
 //!
 //! | bounds            | substitution        |
 //! |-------------------|---------------------|
-//! | `l <= x <= u`     | `x = l + y`, plus a row `y <= u - l` when `u` is finite |
+//! | `l <= x <= u`     | `x = l + y` (row form adds `y <= u - l` when `u` is finite; boxed form sets the column bound) |
 //! | `x <= u` (free below) | `x = u - y`     |
 //! | free              | `x = y⁺ - y⁻`       |
 //! | `l == u`          | constant, no column |
 //!
-//! Inequality rows get slack/surplus columns here so the simplex kernel only
-//! ever sees equalities. Rows are equilibrated (scaled by their largest
+//! Inequality rows get slack/surplus columns here so the simplex kernels
+//! only ever see equalities. Rows are equilibrated (scaled by their largest
 //! coefficient) for numerical robustness: the retiming MILPs mix ±1
 //! coefficients with `τ* ≈ Σβ` big-M terms.
 
@@ -58,14 +69,39 @@ pub(crate) struct StandardForm {
     pub proven_infeasible: bool,
 }
 
+/// The bounded-variable form: `min c·y, A·y = b, 0 ≤ y ≤ u` (upper
+/// bounds may be `+∞`; branch & bound later raises column lower bounds
+/// above 0 in place). Consumed by the revised kernel.
+#[derive(Debug, Clone)]
+pub(crate) struct BoxedForm {
+    pub sf: StandardForm,
+    /// Per-column upper bound (`+∞` for unbounded, slack and surplus
+    /// columns), length `sf.ncols`.
+    pub col_upper: Vec<f64>,
+}
+
+impl BoxedForm {
+    /// Builds the bounded-variable form of `model` (its LP relaxation:
+    /// integrality is ignored here).
+    pub fn build(model: &Model) -> BoxedForm {
+        StandardForm::build_ext(model, true)
+    }
+}
+
 impl StandardForm {
-    /// Builds the standard form of `model` (its LP relaxation: integrality
-    /// is ignored here).
+    /// Builds the row-bounded standard form of `model` (its LP
+    /// relaxation: integrality is ignored here).
     pub fn build(model: &Model) -> StandardForm {
+        Self::build_ext(model, false).sf
+    }
+
+    fn build_ext(model: &Model, boxed: bool) -> BoxedForm {
         let mut ncols = 0usize;
         let mut map = Vec::with_capacity(model.vars.len());
-        // Extra rows for finite upper bounds of shifted variables.
+        // Finite upper bounds of shifted variables: rows in the classic
+        // form, column bounds in the boxed form.
         let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        let mut col_upper: Vec<f64> = Vec::new();
 
         for var in &model.vars {
             let (l, u) = (var.lower, var.upper);
@@ -76,18 +112,29 @@ impl StandardForm {
                 ncols += 1;
                 map.push(ColMap::Shifted { col, lb: l });
                 if u.is_finite() {
-                    bound_rows.push((col, u - l));
+                    if boxed {
+                        col_upper.push(u - l);
+                    } else {
+                        bound_rows.push((col, u - l));
+                        col_upper.push(f64::INFINITY);
+                    }
+                } else {
+                    col_upper.push(f64::INFINITY);
                 }
             } else if u.is_finite() {
                 let col = ncols;
                 ncols += 1;
                 map.push(ColMap::Mirrored { col, ub: u });
+                col_upper.push(f64::INFINITY);
             } else {
                 let pos = ncols;
                 let neg = ncols + 1;
                 ncols += 2;
                 map.push(ColMap::Split { pos, neg });
+                col_upper.push(f64::INFINITY);
+                col_upper.push(f64::INFINITY);
             }
+            debug_assert_eq!(col_upper.len(), ncols);
         }
 
         // Objective in minimization form.
@@ -167,14 +214,15 @@ impl StandardForm {
             });
         }
 
-        // Upper-bound rows (`y <= u - l`), already scaled (coeff 1).
+        // Upper-bound rows (`y <= u - l`), already scaled (coeff 1) —
+        // classic form only; the boxed form carries them on the columns.
         for (col, ub) in bound_rows {
             rows.push(vec![(col, 1.0)]);
             rhs.push(ub);
             aux.push(RowAux::Slack(0));
         }
 
-        // Assign slack/surplus columns.
+        // Assign slack/surplus columns (unbounded above in either form).
         for (row, a) in rows.iter_mut().zip(aux.iter_mut()) {
             match a {
                 RowAux::Slack(c) => {
@@ -191,14 +239,18 @@ impl StandardForm {
             }
         }
         cost.resize(ncols, 0.0);
+        col_upper.resize(ncols, f64::INFINITY);
 
-        StandardForm {
-            ncols,
-            rows,
-            rhs,
-            cost,
-            map,
-            proven_infeasible,
+        BoxedForm {
+            sf: StandardForm {
+                ncols,
+                rows,
+                rhs,
+                cost,
+                map,
+                proven_infeasible,
+            },
+            col_upper,
         }
     }
 

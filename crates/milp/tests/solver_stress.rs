@@ -2,7 +2,7 @@
 //! structured problem families with known optima, warm-start behaviour,
 //! priorities, and limit semantics.
 
-use rr_milp::{cmp, LinExpr, Model, Sense, SolveError, SolverOptions, Status};
+use rr_milp::{cmp, solve_with_stats, Kernel, LinExpr, Model, Sense, SolveError, SolverOptions, Status};
 
 /// max Σx_i over a cube cut by one diagonal plane — LP corner is
 /// fractional, integer optimum known.
@@ -156,6 +156,140 @@ fn mixed_equalities_and_bounds_with_negative_coefficients() {
     assert!((sol[x] - 1.0).abs() < 1e-6);
     assert!((sol[y] - 3.0).abs() < 1e-6);
     assert!((sol.objective - (-3.0)).abs() < 1e-6);
+}
+
+/// The near-tie knapsack family from `time_limit_is_respected`, sized to
+/// need real branching without taking seconds.
+fn near_tie_knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let mut obj = LinExpr::new();
+    let mut row = LinExpr::new();
+    for i in 0..n {
+        let v = m.add_integer(format!("x{i}"), 0.0, 1.0);
+        obj += (100.0 + (i % 7) as f64 * 0.01) * v;
+        row += (100.0 + (i % 5) as f64 * 0.013) * v;
+    }
+    m.set_objective(obj);
+    m.add_constraint(row, cmp::LE, 100.0 * (n as f64) / 2.0 + 0.37);
+    m
+}
+
+/// A multi-row MILP shaped like the retiming formulations: difference
+/// constraints `x_u − x_v ≤ w` over a ring plus coupling knapsack rows —
+/// node LPs need real simplex work, which is where warm starts pay.
+fn ring_difference_milp(n: usize, rows: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_integer(format!("x{i}"), 0.0, 6.0))
+        .collect();
+    let mut obj = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        obj += ((i % 4 + 1) as f64) * v;
+    }
+    m.set_objective(obj);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        m.add_constraint(vars[i] - vars[j], cmp::LE, ((i % 3) as f64) - 0.5);
+    }
+    for r in 0..rows {
+        let mut row = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            row += (((i + r) % 5 + 1) as f64) * v;
+        }
+        m.add_constraint(row, cmp::GE, 2.5 * n as f64 + r as f64);
+    }
+    m
+}
+
+/// The warm-start regression: over this file's instance family,
+/// warm-started branch & bound must (a) agree with cold start on the
+/// optimum, (b) actually warm-start most nodes, and (c) spend no more
+/// simplex pivots in total than solving every node two-phase from
+/// scratch. (On single-row toys a cold boxed solve is nearly free, so
+/// the per-instance comparison carries a small absolute slack; the
+/// family total — dominated by the realistic multi-row instances — must
+/// hold strictly.)
+#[test]
+fn warm_start_spends_fewer_pivots_than_cold_start() {
+    let instances: Vec<(&str, Model)> = vec![
+        ("diagonal_cut_8", diagonal_cut(8, 7.5).0),
+        ("diagonal_cut_16", diagonal_cut(16, 15.5).0),
+        ("near_tie_knapsack_10", near_tie_knapsack(10)),
+        ("near_tie_knapsack_14", near_tie_knapsack(14)),
+        ("ring_difference_12x6", ring_difference_milp(12, 6)),
+        ("ring_difference_18x9", ring_difference_milp(18, 9)),
+        ("equality_knapsack", {
+            let mut m = Model::new(Sense::Minimize);
+            let a = m.add_integer("a", 0.0, 10.0);
+            let b = m.add_integer("b", 0.0, 10.0);
+            let c = m.add_integer("c", 0.0, 10.0);
+            m.set_objective(a + b + LinExpr::var(c));
+            m.add_constraint(3.0 * a + 5.0 * b + 7.0 * c, cmp::EQ, 19.0);
+            m
+        }),
+    ];
+    // The heuristic and gap settings stay at defaults so both runs take
+    // identical branching decisions whenever the node LPs agree.
+    let warm_opts = SolverOptions::default();
+    let cold_opts = SolverOptions {
+        warm_start: false,
+        ..Default::default()
+    };
+    let mut total_warm = 0usize;
+    let mut total_cold = 0usize;
+    for (name, m) in &instances {
+        let (sol_w, st_w) = solve_with_stats(m, &warm_opts).unwrap();
+        let (sol_c, st_c) = solve_with_stats(m, &cold_opts).unwrap();
+        assert!(
+            (sol_w.objective - sol_c.objective).abs() < 1e-6,
+            "{name}: warm obj {} vs cold obj {}",
+            sol_w.objective,
+            sol_c.objective
+        );
+        assert!(
+            st_w.simplex_iters <= st_c.simplex_iters + 32,
+            "{name}: warm start spent {} pivots, cold start only {}",
+            st_w.simplex_iters,
+            st_c.simplex_iters
+        );
+        total_warm += st_w.simplex_iters;
+        total_cold += st_c.simplex_iters;
+        if st_w.nodes > 1 {
+            assert!(
+                st_w.warm_solves > 0,
+                "{name}: multi-node search never warm-started"
+            );
+        }
+    }
+    assert!(
+        total_warm <= total_cold,
+        "family total: warm {total_warm} vs cold {total_cold}"
+    );
+}
+
+/// The dense tableau stays available as a cross-validation oracle on
+/// this file's instances.
+#[test]
+fn dense_oracle_agrees_on_stress_instances() {
+    let oracle = SolverOptions {
+        kernel: Kernel::DenseTableau,
+        ..Default::default()
+    };
+    for (m, expect) in [
+        (diagonal_cut(8, 7.5).0, 7.0),
+        (near_tie_knapsack(10), 500.03),
+    ] {
+        let revised = m.solve().unwrap().objective;
+        let dense = m.solve_with(&oracle).unwrap().objective;
+        assert!(
+            (revised - dense).abs() < 1e-6,
+            "revised {revised} vs dense {dense}"
+        );
+        assert!(
+            (revised - expect).abs() < 0.5,
+            "objective {revised} far from expected {expect}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus bench-rot protection, exactly as CI runs it.
+#
+#   ./scripts/ci.sh
+#
+# All dependencies are vendored (vendor/{rand,proptest,criterion}), so
+# the build works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+# Bench code must at least compile so the perf harness can't silently
+# rot between PRs (running the benches stays a manual/nightly job).
+echo "==> cargo bench --no-run"
+cargo bench --no-run --offline
+
+echo "CI OK"

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides a small wall-clock benchmarking harness with criterion's
+//! macro and builder surface: [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`Throughput`] and
+//! [`Bencher::iter`].
+//!
+//! Statistics are deliberately simple — mean / min / max over up to
+//! `sample_size` timed iterations, with a wall-clock budget per benchmark
+//! so expensive MILP solves don't stall `cargo bench` — but the printed
+//! numbers are real measurements, good enough to track the perf
+//! trajectory in `BENCH_*.json` files across PRs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Wall-clock budget per benchmark (not per iteration).
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            budget: self.budget,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let report = run_bench(self.sample_size, self.budget, |b| f(b));
+        report.print("", &id.to_string(), None);
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. simulated cycles) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration target for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.sample_size, self.budget, |b| f(b, input));
+        report.print(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let report = run_bench(self.sample_size, self.budget, |b| f(b));
+        report.print(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Ends the group (separator line, mirrors criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (one warm-up, then up to the configured
+    /// sample count or until the wall-clock budget is spent).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.iters.push(t0.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+struct Report {
+    samples: Vec<Duration>,
+}
+
+impl Report {
+    fn print(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let name = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.samples.is_empty() {
+            println!("bench {name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().unwrap();
+        let max = *self.samples.iter().max().unwrap();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {name:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples){rate}",
+            self.samples.len()
+        );
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, budget: Duration, mut f: F) -> Report {
+    let mut b = Bencher {
+        iters: Vec::new(),
+        sample_size,
+        budget,
+    };
+    f(&mut b);
+    Report { samples: b.iters }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let report = run_bench(5, Duration::from_secs(1), |b| b.iter(|| 1 + 1));
+        assert!(!report.samples.is_empty() && report.samples.len() <= 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &x| b.iter(|| x * 2));
+        g.bench_function("plain", |b| b.iter(|| 3));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 4));
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies, tuple strategies (arity ≤ 8),
+//!   [`collection::vec`], [`sample::Index`], and [`any`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test RNG (seeded by the test name) and failing inputs are **not
+//! shrunk** — instead, a failing case prints its test name and case
+//! index to stderr, and since the stream is deterministic, re-running
+//! the test regenerates exactly the same inputs for that index.
+
+pub mod test_runner {
+    /// Runner configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Prints the failing case index while a property panic unwinds, so
+    /// the (deterministic) inputs can be regenerated.
+    pub struct CaseGuard {
+        test: &'static str,
+        case: u32,
+    }
+
+    impl CaseGuard {
+        /// Arms the guard for one case.
+        pub fn new(test: &'static str, case: u32) -> Self {
+            CaseGuard { test, case }
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: {} failed at case index {} (deterministic stream — \
+                     re-run regenerates the same inputs)",
+                    self.test, self.case
+                );
+            }
+        }
+    }
+
+    /// Deterministic per-test RNG (xoshiro via the vendored `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Seeds the stream from the test name (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            use rand::SeedableRng;
+            TestRng(rand::rngs::StdRng::seed_from_u64(h))
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngExt;
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Marker for types with a canonical strategy ([`crate::any`]).
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    /// The [`crate::any`] strategy of an [`Arbitrary`] type.
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies!(
+        (0 A),
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H),
+    );
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for fixed-length vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a concrete length.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The canonical strategy of an [`strategy::Arbitrary`] type.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    /// Upstream-compatible alias so `prop::sample::Index` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Asserts a property-test condition, panicking with the formatted
+/// message (no shrinking; the case stream is deterministic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => { assert_eq!($a, $b $(, $($fmt)*)?) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let strat = ( $($strat,)+ );
+                for _case in 0..config.cases {
+                    let _guard = $crate::test_runner::CaseGuard::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        _case,
+                    );
+                    let ( $($pat,)+ ) = strat.generate(&mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, i64)> {
+        (1usize..10, -3i64..=3).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps((a, b) in pair(), flag in any::<bool>()) {
+            prop_assert!(a % 2 == 0 && (2..20).contains(&a));
+            prop_assert!((-3..=3).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_index(
+            v in prop::collection::vec(0i32..=40, 16),
+            ix in any::<prop::sample::Index>(),
+        ) {
+            prop_assert_eq!(v.len(), 16);
+            prop_assert!(ix.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn flat_map_composes(v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0u32..5, n))) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+}
