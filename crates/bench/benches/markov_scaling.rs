@@ -1,0 +1,249 @@
+//! Markov-chain scaling bench — the reproduction-side counterpart of the
+//! paper's §1.4 remark that the Markov-chain analysis "does not scale in
+//! general": it now does, up to bounded-capacity chains with 10⁴–10⁵
+//! recurrent states, via the CSR chain + sparse iterative stationary
+//! solver in `rr-markov`.
+//!
+//! Two criterion groups time the chain build + stationary solve for both
+//! solvers on growing pipelined-figure instances, and — the perf contract
+//! of the sparse engine — a **solver A/B comparison** solves every
+//! instance once with the sparse Gauss–Seidel/power hybrid and once with
+//! the dense Gauss–Jordan oracle in the same run. Wall times, state
+//! counts and throughputs land in `BENCH_markov.json` (see
+//! `rr_bench::bench_log`) so the speedup is tracked across PRs. On every
+//! instance both solvers complete, their throughputs are asserted to
+//! agree within 1e-7; the largest instance (>10,000 recurrent states) is
+//! solved exactly by the sparse path while the dense oracle refuses it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use rr_bench::bench_log::{append_markov, JsonRecord};
+use rr_elastic::Capacity;
+use rr_markov::{
+    exact_throughput_with, MarkovError, MarkovParams, MarkovResult, StationarySolver,
+};
+use rr_rrg::{figures, Rrg};
+
+/// The A/B instance ladder: name, graph, capacity. Recurrent-class sizes
+/// (at k = 2) run ≈ 12 → 419 → 1,091 → 2,496 → 9,701 → 28,520; the dense
+/// oracle refuses everything past 2,000.
+fn instances() -> Vec<(&'static str, Rrg, Capacity)> {
+    vec![
+        (
+            "figure_1b_a0.5",
+            figures::figure_1b(0.5),
+            Capacity::Unbounded,
+        ),
+        (
+            "figure_2_a0.9",
+            figures::figure_2(0.9),
+            Capacity::Unbounded,
+        ),
+        (
+            "pipeline_2x2",
+            figures::figure_1b_pipeline(&[2, 2], 0.6),
+            Capacity::PerBuffer(2),
+        ),
+        (
+            "pipeline_3+2",
+            figures::figure_1b_pipeline(&[3, 2], 0.6),
+            Capacity::PerBuffer(2),
+        ),
+        (
+            "pipeline_3x3",
+            figures::figure_1b_pipeline(&[3, 3], 0.6),
+            Capacity::PerBuffer(2),
+        ),
+        (
+            "pipeline_4x4",
+            figures::figure_1b_pipeline(&[4, 4], 0.6),
+            Capacity::PerBuffer(2),
+        ),
+        (
+            "pipeline_5x5",
+            figures::figure_1b_pipeline(&[5, 5], 0.6),
+            Capacity::PerBuffer(2),
+        ),
+    ]
+}
+
+fn params(capacity: Capacity, solver: StationarySolver) -> MarkovParams {
+    MarkovParams {
+        capacity,
+        max_states: 500_000,
+        max_exact_solve: 500_000,
+        solver,
+    }
+}
+
+fn capacity_label(c: Capacity) -> String {
+    match c {
+        Capacity::Unbounded => "unbounded".to_string(),
+        Capacity::PerBuffer(k) => format!("per_buffer_{k}"),
+    }
+}
+
+fn bench_sparse_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_sparse_scaling");
+    group.sample_size(10);
+    for (name, g, cap) in instances() {
+        if name.starts_with("figure") || name == "pipeline_5x5" {
+            continue; // keep the timed set mid-sized
+        }
+        let p = params(cap, StationarySolver::SparseIterative);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| exact_throughput_with(black_box(g), &p).unwrap().throughput)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_dense_oracle");
+    group.sample_size(10);
+    for (name, g, cap) in instances() {
+        // Only the instances the oracle accepts (≤ 2,000 recurrent states).
+        if !matches!(name, "pipeline_2x2" | "pipeline_3+2") {
+            continue;
+        }
+        let p = params(cap, StationarySolver::DenseGaussJordan);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| exact_throughput_with(black_box(g), &p).unwrap().throughput)
+        });
+    }
+    group.finish();
+}
+
+/// One timed solve; `Ok` carries the result and wall time.
+fn measure(
+    g: &Rrg,
+    cap: Capacity,
+    solver: StationarySolver,
+) -> Result<(MarkovResult, f64), MarkovError> {
+    let p = params(cap, solver);
+    let t0 = Instant::now();
+    let r = exact_throughput_with(g, &p)?;
+    Ok((r, t0.elapsed().as_secs_f64() * 1e3))
+}
+
+/// The A/B pass: both solvers on every instance, agreement asserted,
+/// refusals and speedups recorded.
+fn solver_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    // (name, recurrent, sparse_ms, dense_ms) of the largest dual-solved
+    // instance, and (name, recurrent, sparse_ms) of the largest overall.
+    let mut ab: Option<(String, usize, f64, f64, f64)> = None;
+    let mut largest: Option<(String, usize, f64, bool)> = None;
+    for (name, g, cap) in instances() {
+        let (sparse, sparse_ms) =
+            measure(&g, cap, StationarySolver::SparseIterative).expect("sparse path solves");
+        assert!(sparse.exact, "{name}: sparse fell back to power iteration");
+        records.push(
+            JsonRecord::new("markov_scaling")
+                .str("instance", name)
+                .str("capacity", &capacity_label(cap))
+                .str("solver", "sparse_iterative")
+                .int("states", sparse.states as u64)
+                .int("recurrent_states", sparse.recurrent_states as u64)
+                .num("wall_ms", sparse_ms)
+                .num("throughput", sparse.throughput)
+                .int("exact", u64::from(sparse.exact))
+                .int("refused", 0),
+        );
+        match measure(&g, cap, StationarySolver::DenseGaussJordan) {
+            Ok((dense, dense_ms)) => {
+                let diff = (sparse.throughput - dense.throughput).abs();
+                assert!(
+                    diff < 1e-7,
+                    "{name}: sparse {} vs dense {} differ by {diff:.3e}",
+                    sparse.throughput,
+                    dense.throughput
+                );
+                records.push(
+                    JsonRecord::new("markov_scaling")
+                        .str("instance", name)
+                        .str("capacity", &capacity_label(cap))
+                        .str("solver", "dense_oracle")
+                        .int("states", dense.states as u64)
+                        .int("recurrent_states", dense.recurrent_states as u64)
+                        .num("wall_ms", dense_ms)
+                        .num("throughput", dense.throughput)
+                        .int("exact", u64::from(dense.exact))
+                        .int("refused", 0),
+                );
+                if ab
+                    .as_ref()
+                    .is_none_or(|&(_, rec, ..)| sparse.recurrent_states > rec)
+                {
+                    ab = Some((
+                        name.to_string(),
+                        sparse.recurrent_states,
+                        sparse_ms,
+                        dense_ms,
+                        diff,
+                    ));
+                }
+            }
+            Err(MarkovError::DenseSolveTooLarge { states, cap: limit }) => {
+                records.push(
+                    JsonRecord::new("markov_scaling")
+                        .str("instance", name)
+                        .str("capacity", &capacity_label(cap))
+                        .str("solver", "dense_oracle")
+                        .int("states", sparse.states as u64)
+                        .int("recurrent_states", states as u64)
+                        .int("dense_cap", limit as u64)
+                        .int("exact", 0)
+                        .int("refused", 1),
+                );
+            }
+            Err(e) => panic!("{name}: dense oracle failed unexpectedly: {e}"),
+        }
+        if largest
+            .as_ref()
+            .is_none_or(|&(_, rec, ..)| sparse.recurrent_states > rec)
+        {
+            let refused = sparse.recurrent_states > rr_markov::DENSE_STATE_CAP;
+            largest = Some((
+                name.to_string(),
+                sparse.recurrent_states,
+                sparse_ms,
+                refused,
+            ));
+        }
+    }
+    let (ab_name, ab_rec, ab_sparse_ms, ab_dense_ms, ab_diff) =
+        ab.expect("at least one dual-solved instance");
+    let (big_name, big_rec, big_sparse_ms, big_refused) = largest.expect("instances is non-empty");
+    let speedup = ab_dense_ms / ab_sparse_ms.max(1e-9);
+    println!(
+        "solver comparison: largest dual-solved instance ({ab_name}, {ab_rec} recurrent states) \
+         sparse {ab_sparse_ms:.1} ms vs dense oracle {ab_dense_ms:.1} ms → speedup {speedup:.2}×; \
+         largest overall ({big_name}) {big_rec} recurrent states in {big_sparse_ms:.1} ms \
+         (dense oracle {})",
+        if big_refused { "refused" } else { "accepted" }
+    );
+    records.push(
+        JsonRecord::new("markov_scaling_summary")
+            .str("ab_instance", &ab_name)
+            .int("ab_recurrent_states", ab_rec as u64)
+            .num("sparse_wall_ms", ab_sparse_ms)
+            .num("dense_wall_ms", ab_dense_ms)
+            .num("speedup", speedup)
+            .num("agreement_abs_diff", ab_diff)
+            .str("largest_instance", &big_name)
+            .int("largest_recurrent_states", big_rec as u64)
+            .num("largest_sparse_wall_ms", big_sparse_ms)
+            .int("dense_refused", u64::from(big_refused)),
+    );
+    append_markov(&records);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sparse_scaling, bench_dense_oracle, solver_comparison
+}
+criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Machine-readable perf records: `BENCH_milp.json`.
+//! Machine-readable perf records: `BENCH_milp.json` / `BENCH_markov.json`.
 //!
-//! Every perf-relevant harness (the `milp_scaling` bench, the `table1` /
-//! `table2` binaries) appends flat JSON records here so the MILP-kernel
-//! perf trajectory can be tracked across PRs without parsing bench
-//! stdout. The file is a JSON array with one record per line:
+//! Every perf-relevant harness (the `milp_scaling` / `markov_scaling`
+//! benches, the `table1` / `table2` binaries) appends flat JSON records
+//! here so per-kernel perf trajectories can be tracked across PRs without
+//! parsing bench stdout. Each file is a JSON array with one record per
+//! line:
 //!
 //! ```json
 //! [
@@ -11,6 +12,21 @@
 //! {"kind":"table1","circuit":"s526","wall_ms":823.1,...}
 //! ]
 //! ```
+//!
+//! `BENCH_markov.json` carries two record kinds, written by the
+//! `markov_scaling` bench:
+//!
+//! * `"markov_scaling"` — one record per (instance, solver) pair:
+//!   `instance` (str), `capacity` (str), `solver` (`"sparse_iterative"` or
+//!   `"dense_oracle"`), `states`, `recurrent_states`, `wall_ms`,
+//!   `throughput`, `exact` (0/1), and `refused` (1 when the dense oracle
+//!   declined the class — `wall_ms`/`throughput` are then absent);
+//! * `"markov_scaling_summary"` — the A/B headline: the largest instance
+//!   both solvers completed (`ab_instance`, `ab_recurrent_states`,
+//!   `sparse_wall_ms`, `dense_wall_ms`, `speedup`, `agreement_abs_diff`)
+//!   and the largest sparse-only solve (`largest_instance`,
+//!   `largest_recurrent_states`, `largest_sparse_wall_ms`,
+//!   `dense_refused`).
 //!
 //! No serde in the container, so records are rendered by hand; the
 //! format is deliberately flat (string / integer / float fields only).
@@ -90,31 +106,50 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Where the records go: `$BENCH_MILP_PATH`, or `BENCH_milp.json` at the
-/// workspace root (`cargo bench` changes the working directory to the
-/// package, so the path is anchored at compile time instead).
-pub fn bench_json_path() -> PathBuf {
-    if let Some(p) = std::env::var_os("BENCH_MILP_PATH") {
+/// Where records for `file_name` go: the `env_var` override when set, or
+/// `file_name` at the workspace root (`cargo bench` changes the working
+/// directory to the package, so the path is anchored at compile time
+/// instead).
+pub fn bench_json_path_named(env_var: &str, file_name: &str) -> PathBuf {
+    if let Some(p) = std::env::var_os(env_var) {
         return PathBuf::from(p);
     }
     let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("crates/bench has a workspace root two levels up");
-    workspace_root.join("BENCH_milp.json")
+    workspace_root.join(file_name)
 }
 
-/// Appends records to the JSON array at [`bench_json_path`], creating it
-/// when absent and replacing it when unparseable. I/O errors are
-/// reported to stderr, never panicked on — perf logging must not fail a
-/// bench run.
+/// The MILP perf log: `$BENCH_MILP_PATH` or `BENCH_milp.json`.
+pub fn bench_json_path() -> PathBuf {
+    bench_json_path_named("BENCH_MILP_PATH", "BENCH_milp.json")
+}
+
+/// The Markov perf log: `$BENCH_MARKOV_PATH` or `BENCH_markov.json`.
+pub fn markov_json_path() -> PathBuf {
+    bench_json_path_named("BENCH_MARKOV_PATH", "BENCH_markov.json")
+}
+
+/// Appends records to the MILP log ([`bench_json_path`]).
+pub fn append(records: &[JsonRecord]) {
+    append_to(&bench_json_path(), records);
+}
+
+/// Appends records to the Markov log ([`markov_json_path`]).
+pub fn append_markov(records: &[JsonRecord]) {
+    append_to(&markov_json_path(), records);
+}
+
+/// Appends records to the JSON array at `path`, creating it when absent
+/// and replacing it when unparseable. I/O errors are reported to stderr,
+/// never panicked on — perf logging must not fail a bench run.
 ///
 /// The read-modify-write is **not** atomic: run the perf harnesses
 /// sequentially (as `scripts/ci.sh` does); concurrent writers to the
 /// same file are last-writer-wins.
-pub fn append(records: &[JsonRecord]) {
-    let path = bench_json_path();
-    let mut lines: Vec<String> = match fs::read_to_string(&path) {
+pub fn append_to(path: &std::path::Path, records: &[JsonRecord]) {
+    let mut lines: Vec<String> = match fs::read_to_string(path) {
         Ok(existing) if existing.trim_start().starts_with('[') => existing
             .lines()
             .map(str::trim)
@@ -125,7 +160,7 @@ pub fn append(records: &[JsonRecord]) {
     };
     lines.extend(records.iter().map(JsonRecord::render));
     let body = format!("[\n{}\n]\n", lines.join(",\n"));
-    if let Err(e) = fs::write(&path, body) {
+    if let Err(e) = fs::write(path, body) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         println!("perf records appended to {}", path.display());

@@ -317,6 +317,15 @@ impl Machine {
     /// reachability analysis.
     pub fn canonical_state(&self) -> Vec<u64> {
         let mut s = Vec::new();
+        self.canonical_state_into(&mut s);
+        s
+    }
+
+    /// Writes the canonical encoding into `s` (cleared first). State-key
+    /// interners probe millions of candidate successors; reusing one
+    /// scratch buffer keeps the hot enumeration loop allocation-free.
+    pub fn canonical_state_into(&self, s: &mut Vec<u64>) {
+        s.clear();
         for ch in &self.channels {
             s.push(ch.queue.len() as u64);
             for &a in &ch.queue {
@@ -333,7 +342,6 @@ impl Machine {
         for &b in &self.busy_until {
             s.push(b.saturating_sub(self.now));
         }
-        s
     }
 
     /// Executes one clock cycle with externally supplied guard draws.

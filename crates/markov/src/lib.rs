@@ -1,4 +1,4 @@
-//! Exact steady-state throughput of (small) elastic systems via Markov
+//! Exact steady-state throughput of elastic systems via sparse Markov
 //! chains — the analysis the paper uses for its motivating example (§1.4):
 //! "The behavior of ESs with early evaluation can be modeled using Markov
 //! chains. Although this approach does not scale in general, … it can be
@@ -11,11 +11,32 @@
 //! γ-distributed guard draws. The long-run average of "reference node
 //! fired this cycle" is the throughput.
 //!
-//! The solver enumerates the reachable state space (guard combinations ×
-//! deterministic step), locates the terminal strongly connected component,
-//! and solves the stationary equations exactly by Gaussian elimination; a
-//! Cesàro-averaged power iteration covers the (rare) multi-terminal or
-//! very large cases.
+//! The engine is organised in three layers:
+//!
+//! * [`chain`] enumerates the reachable state space into a CSR transition
+//!   matrix (flat column/probability/reward arrays, interned state keys)
+//!   and validates that every row's probability mass is 1;
+//! * [`solve`] (internal) locates the terminal strongly connected
+//!   component and solves the stationary equations — by default with a
+//!   sparse Gauss–Seidel / damped-power hybrid that stops on the residual
+//!   `‖πP − π‖₁`, scaling to recurrent classes of 10⁴–10⁵ states; the
+//!   original dense Gauss–Jordan elimination survives as a
+//!   cross-validation oracle behind [`MarkovParams::solver`];
+//! * [`power`] (internal) covers multi-terminal or oversized chains with
+//!   a Cesàro-averaged power iteration whose stopping rule extrapolates
+//!   the limit (Aitken Δ² over geometric checkpoints).
+//!
+//! # Choosing a solver
+//!
+//! [`MarkovParams::solver`] defaults to
+//! [`StationarySolver::SparseIterative`]; select
+//! [`StationarySolver::DenseGaussJordan`] to cross-check the iterative
+//! result with an `O(k³)` elimination (it refuses recurrent classes past
+//! [`DENSE_STATE_CAP`] states with
+//! [`MarkovError::DenseSolveTooLarge`] rather than grinding). The two
+//! agree to well below 1e-7 on every chain both can solve; the `markov_scaling`
+//! bench in `rr-bench` A/B-measures them and appends the wall times to
+//! `BENCH_markov.json`.
 //!
 //! # Example
 //!
@@ -30,31 +51,57 @@
 //! # Ok::<(), rr_markov::MarkovError>(())
 //! ```
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use rr_elastic::{Capacity, Machine, MachineError};
-use rr_rrg::{EdgeId, NodeId, Rrg};
+use rr_elastic::{Capacity, MachineError};
+use rr_rrg::Rrg;
+
+pub mod chain;
+mod power;
+mod solve;
+
+pub use chain::{build_chain, Chain, ROW_MASS_TOLERANCE};
+pub use solve::DENSE_STATE_CAP;
+
+#[cfg(test)]
+mod proptests;
+
+/// Stationary-solve algorithm for the terminal recurrent class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StationarySolver {
+    /// Sparse Gauss–Seidel / damped-power hybrid with a residual-based
+    /// stopping rule (`‖πP − π‖₁ < ε`). Handles recurrent classes of
+    /// 10⁴–10⁵ states; the production default.
+    #[default]
+    SparseIterative,
+    /// Dense Gauss–Jordan elimination — the original `O(k³)` solver, kept
+    /// as a cross-validation oracle. Refuses classes beyond
+    /// [`DENSE_STATE_CAP`] states.
+    DenseGaussJordan,
+}
 
 /// Limits for the state-space exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarkovParams {
     /// Abort if more reachable states than this are found.
     pub max_states: usize,
-    /// Use the exact linear solve up to this many recurrent states; fall
-    /// back to power iteration beyond.
+    /// Use the exact stationary solve up to this many recurrent states;
+    /// fall back to power iteration beyond.
     pub max_exact_solve: usize,
     /// Channel capacity model of the underlying machine.
     pub capacity: Capacity,
+    /// Stationary-solve algorithm for the recurrent class.
+    pub solver: StationarySolver,
 }
 
 impl Default for MarkovParams {
     fn default() -> Self {
         MarkovParams {
             max_states: 200_000,
-            max_exact_solve: 2_000,
+            max_exact_solve: 200_000,
             capacity: Capacity::Unbounded,
+            solver: StationarySolver::SparseIterative,
         }
     }
 }
@@ -81,8 +128,15 @@ pub enum MarkovError {
     StateSpaceTooLarge { limit: usize },
     /// Underlying machine failure.
     Machine(MachineError),
-    /// The chain has several terminal components *and* is too large for
-    /// the power-iteration fallback to converge within its budget.
+    /// A state's outgoing transition probabilities do not sum to 1 within
+    /// [`ROW_MASS_TOLERANCE`] — a machine or γ-assignment bug that would
+    /// silently skew every downstream solve.
+    ProbabilityLeak { state: usize, mass: f64 },
+    /// The dense cross-validation oracle was asked for a recurrent class
+    /// larger than [`DENSE_STATE_CAP`]; use the sparse solver instead.
+    DenseSolveTooLarge { states: usize, cap: usize },
+    /// The iterative solve (or the power-iteration fallback) did not reach
+    /// its residual tolerance within the iteration budget.
     NoConvergence,
 }
 
@@ -93,7 +147,16 @@ impl fmt::Display for MarkovError {
                 write!(f, "reachable state space exceeds {limit} states")
             }
             MarkovError::Machine(e) => write!(f, "machine error: {e}"),
-            MarkovError::NoConvergence => f.write_str("power iteration did not converge"),
+            MarkovError::ProbabilityLeak { state, mass } => write!(
+                f,
+                "state {state}: outgoing probability mass {mass} ≠ 1 (machine or γ bug)"
+            ),
+            MarkovError::DenseSolveTooLarge { states, cap } => write!(
+                f,
+                "dense oracle refuses {states} recurrent states (cap {cap}); \
+                 use StationarySolver::SparseIterative"
+            ),
+            MarkovError::NoConvergence => f.write_str("iterative solve did not converge"),
         }
     }
 }
@@ -129,298 +192,7 @@ pub fn exact_throughput(g: &Rrg) -> Result<MarkovResult, MarkovError> {
 /// See [`MarkovError`].
 pub fn exact_throughput_with(g: &Rrg, params: &MarkovParams) -> Result<MarkovResult, MarkovError> {
     let chain = build_chain(g, params)?;
-    solve_chain(&chain, params)
-}
-
-/// The explicit chain: per state, a list of `(successor, probability,
-/// reward)` transitions (reward = 1.0 when the reference node fired).
-struct Chain {
-    transitions: Vec<Vec<(usize, f64, f64)>>,
-}
-
-/// Enumerates guard-choice combinations and successor states.
-fn build_chain(g: &Rrg, params: &MarkovParams) -> Result<Chain, MarkovError> {
-    let initial = Machine::new(g, params.capacity)?;
-    let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
-    let mut machines: Vec<Machine> = Vec::new();
-    let mut transitions: Vec<Vec<(usize, f64, f64)>> = Vec::new();
-
-    index.insert(initial.canonical_state(), 0);
-    machines.push(initial);
-    transitions.push(Vec::new());
-
-    let mut frontier = vec![0usize];
-    while let Some(s) = frontier.pop() {
-        let machine = machines[s].clone();
-        let undrawn = machine.undrawn_early_nodes();
-        let combos = guard_combinations(g, &undrawn);
-        let mut out = Vec::with_capacity(combos.len());
-        for (choice, prob) in combos {
-            let mut m = machine.clone();
-            let mut it = choice.iter();
-            let outcome = m.step_with(|v| {
-                let &(node, edge) = it.next().expect("draw called more times than undrawn");
-                debug_assert_eq!(node, v, "draw order mismatch");
-                edge
-            });
-            let reward = f64::from(outcome.fired[0]);
-            let key = m.canonical_state();
-            let next = match index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    let i = machines.len();
-                    if i >= params.max_states {
-                        return Err(MarkovError::StateSpaceTooLarge {
-                            limit: params.max_states,
-                        });
-                    }
-                    index.insert(key, i);
-                    machines.push(m);
-                    transitions.push(Vec::new());
-                    frontier.push(i);
-                    i
-                }
-            };
-            out.push((next, prob, reward));
-        }
-        transitions[s] = out;
-    }
-    Ok(Chain { transitions })
-}
-
-/// Cartesian product of guard choices for the undrawn early nodes, with
-/// the probability of each combination.
-fn guard_combinations(g: &Rrg, undrawn: &[NodeId]) -> Vec<(Vec<(NodeId, EdgeId)>, f64)> {
-    let mut combos: Vec<(Vec<(NodeId, EdgeId)>, f64)> = vec![(Vec::new(), 1.0)];
-    for &v in undrawn {
-        let mut next = Vec::with_capacity(combos.len() * g.in_edges(v).len());
-        for &e in g.in_edges(v) {
-            let p = g.edge(e).gamma().expect("early input without γ");
-            for (combo, cp) in &combos {
-                let mut c = combo.clone();
-                c.push((v, e));
-                next.push((c, cp * p));
-            }
-        }
-        combos = next;
-    }
-    // `step_with` draws in ascending node-id order; keep combos sorted to
-    // match.
-    for (c, _) in &mut combos {
-        c.sort_by_key(|&(v, _)| v);
-    }
-    combos
-}
-
-/// Finds the recurrent class and solves for the stationary throughput.
-fn solve_chain(chain: &Chain, params: &MarkovParams) -> Result<MarkovResult, MarkovError> {
-    let n = chain.transitions.len();
-    let sccs = tarjan(&chain.transitions);
-    let mut comp_of = vec![usize::MAX; n];
-    for (ci, comp) in sccs.iter().enumerate() {
-        for &s in comp {
-            comp_of[s] = ci;
-        }
-    }
-    // Terminal SCCs: no transition leaves the component.
-    let mut terminal: Vec<usize> = Vec::new();
-    'comp: for (ci, comp) in sccs.iter().enumerate() {
-        for &s in comp {
-            for &(t, _, _) in &chain.transitions[s] {
-                if comp_of[t] != ci {
-                    continue 'comp;
-                }
-            }
-        }
-        terminal.push(ci);
-    }
-
-    if terminal.len() == 1 && sccs[terminal[0]].len() <= params.max_exact_solve {
-        let comp = &sccs[terminal[0]];
-        let theta = stationary_throughput(chain, comp);
-        Ok(MarkovResult {
-            throughput: theta,
-            states: n,
-            recurrent_states: comp.len(),
-            exact: true,
-        })
-    } else {
-        // Multi-terminal or oversized: Cesàro-averaged power iteration
-        // from the initial state.
-        let theta = power_iteration(chain).ok_or(MarkovError::NoConvergence)?;
-        Ok(MarkovResult {
-            throughput: theta,
-            states: n,
-            recurrent_states: terminal.iter().map(|&c| sccs[c].len()).sum(),
-            exact: false,
-        })
-    }
-}
-
-/// Solves `π P = π, Σπ = 1` on one recurrent class by Gaussian
-/// elimination and returns `Σ_s π(s)·r̄(s)`.
-fn stationary_throughput(chain: &Chain, comp: &[usize]) -> f64 {
-    let k = comp.len();
-    let mut local = HashMap::with_capacity(k);
-    for (i, &s) in comp.iter().enumerate() {
-        local.insert(s, i);
-    }
-    // Rows 0..k-1: (P^T − I) π = 0, last row replaced by Σπ = 1.
-    let w = k + 1;
-    let mut a = vec![0.0f64; k * w];
-    for (i, &s) in comp.iter().enumerate() {
-        for &(t, p, _) in &chain.transitions[s] {
-            let j = local[&t];
-            a[j * w + i] += p;
-        }
-    }
-    for d in 0..k {
-        a[d * w + d] -= 1.0;
-    }
-    for c in 0..k {
-        a[(k - 1) * w + c] = 1.0;
-    }
-    a[(k - 1) * w + k] = 1.0;
-
-    gaussian_solve(&mut a, k);
-    let pi: Vec<f64> = (0..k).map(|i| a[i * w + k]).collect();
-
-    let mut theta = 0.0;
-    for (i, &s) in comp.iter().enumerate() {
-        let expected_reward: f64 = chain.transitions[s].iter().map(|&(_, p, r)| p * r).sum();
-        theta += pi[i] * expected_reward;
-    }
-    theta
-}
-
-/// In-place Gauss–Jordan with partial pivoting on a `k × (k+1)` augmented
-/// system; the solution lands in the last column.
-fn gaussian_solve(a: &mut [f64], k: usize) {
-    let w = k + 1;
-    for col in 0..k {
-        let mut best = col;
-        for r in col + 1..k {
-            if a[r * w + col].abs() > a[best * w + col].abs() {
-                best = r;
-            }
-        }
-        if best != col {
-            for c in 0..w {
-                a.swap(col * w + c, best * w + c);
-            }
-        }
-        let pivot = a[col * w + col];
-        if pivot.abs() < 1e-12 {
-            continue; // singular direction; the normalisation row disambiguates
-        }
-        for r in 0..k {
-            if r != col {
-                let f = a[r * w + col] / pivot;
-                if f != 0.0 {
-                    for c in col..w {
-                        a[r * w + c] -= f * a[col * w + c];
-                    }
-                }
-            }
-        }
-        let inv = 1.0 / pivot;
-        for c in col..w {
-            a[col * w + c] *= inv;
-        }
-    }
-}
-
-/// Cesàro-averaged distribution iteration; `None` if averages never
-/// settle.
-fn power_iteration(chain: &Chain) -> Option<f64> {
-    let n = chain.transitions.len();
-    let mut dist = vec![0.0f64; n];
-    dist[0] = 1.0;
-    let mut next = vec![0.0f64; n];
-    let mut avg_prev = f64::NAN;
-    let mut cum_reward = 0.0;
-    let max_iters = 400_000usize;
-    for it in 1..=max_iters {
-        next.iter_mut().for_each(|x| *x = 0.0);
-        let mut step_reward = 0.0;
-        for (s, d) in dist.iter().enumerate() {
-            if *d == 0.0 {
-                continue;
-            }
-            for &(t, p, r) in &chain.transitions[s] {
-                next[t] += d * p;
-                step_reward += d * p * r;
-            }
-        }
-        std::mem::swap(&mut dist, &mut next);
-        cum_reward += step_reward;
-        if it % 1_000 == 0 {
-            let avg = cum_reward / it as f64;
-            if (avg - avg_prev).abs() < 1e-7 {
-                return Some(avg);
-            }
-            avg_prev = avg;
-        }
-    }
-    None
-}
-
-/// Iterative Tarjan SCC on the transition graph.
-fn tarjan(transitions: &[Vec<(usize, f64, f64)>]) -> Vec<Vec<usize>> {
-    let n = transitions.len();
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![usize::MAX; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next = 0usize;
-    let mut comps: Vec<Vec<usize>> = Vec::new();
-    let mut call: Vec<(usize, usize)> = Vec::new();
-
-    for root in 0..n {
-        if index[root] != usize::MAX {
-            continue;
-        }
-        call.push((root, 0));
-        index[root] = next;
-        low[root] = next;
-        next += 1;
-        stack.push(root);
-        on_stack[root] = true;
-        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
-            if *ei < transitions[v].len() {
-                let w = transitions[v][*ei].0;
-                *ei += 1;
-                if index[w] == usize::MAX {
-                    index[w] = next;
-                    low[w] = next;
-                    next += 1;
-                    stack.push(w);
-                    on_stack[w] = true;
-                    call.push((w, 0));
-                } else if on_stack[w] {
-                    low[v] = low[v].min(index[w]);
-                }
-            } else {
-                call.pop();
-                if let Some(&(p, _)) = call.last() {
-                    low[p] = low[p].min(low[v]);
-                }
-                if low[v] == index[v] {
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w] = false;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    comps.push(comp);
-                }
-            }
-        }
-    }
-    comps
+    solve::solve_chain(&chain, params)
 }
 
 #[cfg(test)]
@@ -510,5 +282,180 @@ mod tests {
         let unbounded = exact_throughput(&g).unwrap();
         assert!(bounded.throughput <= unbounded.throughput + 1e-9);
         assert!(bounded.throughput > 0.0);
+    }
+
+    #[test]
+    fn solvers_agree_on_all_figure_chains() {
+        for g in [
+            figures::figure_1a(0.5),
+            figures::figure_1b(0.5),
+            figures::figure_1b(0.9),
+            figures::figure_2(0.25),
+            figures::figure_2(0.9),
+        ] {
+            let sparse = exact_throughput_with(&g, &MarkovParams::default()).unwrap();
+            let dense = exact_throughput_with(
+                &g,
+                &MarkovParams {
+                    solver: StationarySolver::DenseGaussJordan,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(sparse.exact && dense.exact);
+            assert!(
+                (sparse.throughput - dense.throughput).abs() < 1e-7,
+                "sparse {} vs dense {}",
+                sparse.throughput,
+                dense.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_solves_beyond_the_old_dense_cap() {
+        // Two pipelined figure-1(b) stages of length 3: ~2.5k recurrent
+        // states — past the 2,000-state wall where the old dense-only
+        // engine silently fell back to power iteration. The sparse path
+        // must solve it exactly; the dense oracle must refuse it with a
+        // structured error; and the answer must agree with an independent
+        // machine simulation.
+        let g = figures::figure_1b_pipeline(&[3, 3], 0.6);
+        let sparse = exact_throughput(&g).unwrap();
+        assert!(sparse.exact, "sparse path fell back to power iteration");
+        assert!(
+            sparse.recurrent_states > DENSE_STATE_CAP,
+            "instance shrank below the cap: {} states",
+            sparse.recurrent_states
+        );
+
+        let dense_params = MarkovParams {
+            solver: StationarySolver::DenseGaussJordan,
+            ..Default::default()
+        };
+        match exact_throughput_with(&g, &dense_params) {
+            Err(MarkovError::DenseSolveTooLarge { states, cap }) => {
+                assert_eq!(states, sparse.recurrent_states);
+                assert_eq!(cap, DENSE_STATE_CAP);
+            }
+            other => panic!("expected DenseSolveTooLarge, got {other:?}"),
+        }
+
+        let sim = rr_elastic::simulate(
+            &g,
+            &rr_elastic::MachineParams {
+                horizon: 60_000,
+                warmup: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .throughput;
+        assert!(
+            (sparse.throughput - sim).abs() < 0.01,
+            "sparse {} vs simulation {sim}",
+            sparse.throughput
+        );
+    }
+
+    /// The old power-iteration stopping rule compared Cesàro averages
+    /// 1,000 iterations apart against 1e-7: the successive delta shrinks
+    /// like `c/t²` while the absolute error is still `c/t`, so on a
+    /// slow-mixing chain (γ near 1 the mux almost always takes the top
+    /// channel, and the bottom-channel excursions that set the throughput
+    /// are rare) it fired while the answer was off in the fourth decimal.
+    #[test]
+    fn slow_mixing_power_iteration_is_accurate_where_old_criterion_failed() {
+        let g = figures::figure_1b(0.9999);
+        let truth = exact_throughput(&g).unwrap();
+        assert!(truth.exact);
+
+        // Force the power-iteration fallback.
+        let power = exact_throughput_with(
+            &g,
+            &MarkovParams {
+                max_exact_solve: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!power.exact);
+
+        // Replicate the old stopping rule on the same chain.
+        let chain = build_chain(&g, &MarkovParams::default()).unwrap();
+        let old = old_criterion_estimate(&chain);
+
+        // Measured: the old rule fires at t = 2,000 with ~8e-6 error (it
+        // claimed 1e-7); the extrapolated rule is accurate to ~6e-11.
+        let old_err = (old - truth.throughput).abs();
+        let new_err = (power.throughput - truth.throughput).abs();
+        assert!(
+            old_err > 2e-6,
+            "old criterion unexpectedly accurate: err {old_err:.2e}"
+        );
+        assert!(
+            new_err < 1e-8,
+            "extrapolated criterion off by {new_err:.2e} (old: {old_err:.2e})"
+        );
+        assert!(new_err * 100.0 < old_err);
+    }
+
+    /// The pre-fix stopping rule, verbatim: converged when Cesàro averages
+    /// 1,000 iterations apart differ by less than 1e-7.
+    fn old_criterion_estimate(chain: &Chain) -> f64 {
+        let n = chain.num_states();
+        let mut dist = vec![0.0f64; n];
+        dist[0] = 1.0;
+        let mut next = vec![0.0f64; n];
+        let mut avg_prev = f64::NAN;
+        let mut cum_reward = 0.0;
+        for it in 1..=400_000usize {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            let mut step_reward = 0.0;
+            for (s, d) in dist.iter().enumerate() {
+                if *d == 0.0 {
+                    continue;
+                }
+                for (t, p, r) in chain.row(s) {
+                    next[t] += d * p;
+                    step_reward += d * p * r;
+                }
+            }
+            std::mem::swap(&mut dist, &mut next);
+            cum_reward += step_reward;
+            if it % 1_000 == 0 {
+                let avg = cum_reward / it as f64;
+                if (avg - avg_prev).abs() < 1e-7 {
+                    return avg;
+                }
+                avg_prev = avg;
+            }
+        }
+        panic!("old criterion never fired");
+    }
+
+    #[test]
+    fn probability_leak_is_reported() {
+        // The graph builder tolerates γ sums within GAMMA_TOL = 1e-6; the
+        // chain builder demands 1e-9. A γ assignment in the gap passes
+        // validation upstream but must be caught (not silently skew the
+        // solve) when the chain is assembled.
+        use rr_rrg::RrgBuilder;
+        let mut b = RrgBuilder::new();
+        let m = b.add_early("m", 0.0);
+        let f = b.add_simple("f", 1.0);
+        let e1 = b.add_edge(f, m, 1, 1);
+        let e2 = b.add_edge(f, m, 1, 1);
+        b.add_edge(m, f, 1, 1);
+        b.set_gamma(e1, 0.5);
+        b.set_gamma(e2, 0.5 - 5e-7); // leaks 5e-7 of probability mass
+        let g = b.build().expect("leak is below the builder's tolerance");
+        let err = exact_throughput(&g).unwrap_err();
+        match err {
+            MarkovError::ProbabilityLeak { mass, .. } => {
+                assert!((mass - (1.0 - 5e-7)).abs() < 1e-9, "mass {mass}");
+            }
+            other => panic!("expected ProbabilityLeak, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,91 @@
+//! Property-based cross-validation of the two stationary solvers.
+//!
+//! The sparse Gauss–Seidel/power hybrid is the production path; the dense
+//! Gauss–Jordan elimination is its oracle. On every chain both can solve —
+//! figure variants across the γ range and random bounded-capacity
+//! benchmark graphs — their throughputs must agree to 1e-7 (in practice
+//! they agree to ~1e-12; the bound leaves room for ill-conditioned
+//! classes).
+
+use proptest::prelude::*;
+
+use rr_elastic::Capacity;
+use rr_rrg::generate::GeneratorParams;
+use rr_rrg::{figures, Rrg};
+
+use crate::{exact_throughput_with, MarkovError, MarkovParams, StationarySolver};
+
+/// Solves with both solvers and asserts agreement; skips instances the
+/// dense oracle refuses or that exceed the exploration limits.
+fn assert_solvers_agree(g: &Rrg, capacity: Capacity, label: &str) {
+    let sparse_params = MarkovParams {
+        capacity,
+        max_states: 50_000,
+        ..Default::default()
+    };
+    let dense_params = MarkovParams {
+        solver: StationarySolver::DenseGaussJordan,
+        ..sparse_params.clone()
+    };
+    let sparse = match exact_throughput_with(g, &sparse_params) {
+        Ok(r) => r,
+        Err(MarkovError::StateSpaceTooLarge { .. }) => return,
+        Err(e) => panic!("{label}: sparse solve failed: {e}"),
+    };
+    let dense = match exact_throughput_with(g, &dense_params) {
+        Ok(r) => r,
+        Err(MarkovError::DenseSolveTooLarge { .. }) => return,
+        Err(e) => panic!("{label}: dense solve failed: {e}"),
+    };
+    assert_eq!(sparse.exact, dense.exact);
+    assert_eq!(sparse.states, dense.states);
+    assert_eq!(sparse.recurrent_states, dense.recurrent_states);
+    assert!(
+        (sparse.throughput - dense.throughput).abs() < 1e-7,
+        "{label}: sparse {} vs dense {} ({} recurrent states)",
+        sparse.throughput,
+        dense.throughput,
+        sparse.recurrent_states
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Figure chains across the whole γ range, unbounded and bounded.
+    #[test]
+    fn solvers_agree_on_figure_chains(
+        alpha in 0.05f64..0.95,
+        variant in 0usize..3,
+        cap in 0u32..3,
+    ) {
+        let g = match variant {
+            0 => figures::figure_1a(alpha),
+            1 => figures::figure_1b(alpha),
+            _ => figures::figure_2(alpha),
+        };
+        let capacity = match cap {
+            0 => Capacity::Unbounded,
+            k => Capacity::PerBuffer(k),
+        };
+        assert_solvers_agree(&g, capacity, &format!("figure v{variant} α={alpha}"));
+    }
+
+    /// Random paper-recipe benchmark graphs under bounded capacity — the
+    /// workload whose state spaces actually stress the sparse path.
+    #[test]
+    fn solvers_agree_on_random_bounded_chains(
+        seed in 0u64..500,
+        simple in 4usize..7,
+        early in 1usize..3,
+        k in 1u32..3,
+    ) {
+        let edges = (simple + early) * 2;
+        let g = GeneratorParams::paper_defaults(simple, early, edges).generate(seed);
+        assert_solvers_agree(
+            &g,
+            Capacity::PerBuffer(k),
+            &format!("random s={seed} n={simple}+{early} k={k}"),
+        );
+    }
+}

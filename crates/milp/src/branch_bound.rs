@@ -146,7 +146,7 @@ impl WarmSearch<'_> {
     /// Solves the current node LP: in-place dual reoptimization when the
     /// kernel state allows it, else from the parent basis, else cold.
     fn solve_node(&mut self, parent: Option<&BasisState>) -> Result<(), SolveError> {
-        if self.opts.warm_start && parent.is_some() {
+        if let Some(parent_state) = parent.filter(|_| self.opts.warm_start) {
             let outcome = if self.kernel.dual_ok() {
                 self.try_warm_in_place()
             } else {
@@ -154,10 +154,7 @@ impl WarmSearch<'_> {
             };
             let outcome = match outcome {
                 // Soft failure: retry from the parent's optimal basis.
-                Err(e) if e != SolveError::Infeasible => {
-                    let state = parent.expect("checked above").clone();
-                    self.try_warm_install(&state)
-                }
+                Err(e) if e != SolveError::Infeasible => self.try_warm_install(parent_state),
                 other => other,
             };
             match outcome {
@@ -359,7 +356,7 @@ impl WarmSearch<'_> {
             None
         };
 
-        if self.opts.rounding_heuristic && (depth == 0 || depth % 8 == 0) {
+        if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
             self.offer_incumbent(&relax);
         }
         if self.within_gap() {
@@ -617,7 +614,7 @@ impl LegacySearch<'_> {
             return Ok(());
         };
 
-        if self.opts.rounding_heuristic && (depth == 0 || depth % 8 == 0) {
+        if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
             self.offer_incumbent(&relax);
         }
         if self.within_gap() {

@@ -227,7 +227,7 @@ impl Revised {
             }
         } else {
             let k = j - self.n;
-            f(k / 2, if k % 2 == 0 { 1.0 } else { -1.0 });
+            f(k / 2, if k.is_multiple_of(2) { 1.0 } else { -1.0 });
         }
     }
 
@@ -516,8 +516,8 @@ impl Revised {
         let mut best_row: Option<usize> = None;
         let mut best_to_upper = false;
         let mut best_piv = 0.0f64;
-        for r in 0..self.m {
-            let delta = sigma * d[r]; // xb[r] decreases by delta·t
+        for (r, &dr) in d.iter().enumerate().take(self.m) {
+            let delta = sigma * dr; // xb[r] decreases by delta·t
             let (lb, ub) = self.box_of(self.basis[r]);
             let (t_r, to_upper) = if delta > tol {
                 (((self.xb[r] - lb).max(0.0)) / delta, false)
@@ -838,13 +838,13 @@ pub(crate) fn solve(
     if bf.sf.rows.is_empty() {
         // No rows: optimize each boxed column independently.
         let mut y = vec![0.0; bf.sf.ncols];
-        for j in 0..bf.sf.ncols {
+        for (j, yj) in y.iter_mut().enumerate() {
             let c = bf.sf.cost[j];
             if c < -opts.feas_tol {
                 if !bf.col_upper[j].is_finite() {
                     return Err(SolveError::Unbounded);
                 }
-                y[j] = bf.col_upper[j];
+                *yj = bf.col_upper[j];
             }
         }
         return Ok((y, 0));

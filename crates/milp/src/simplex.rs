@@ -216,10 +216,7 @@ pub(crate) fn solve(
     // Make rhs nonnegative by row negation, then give every row a basic
     // column: a +1 slack if one survived the sign flip, else an artificial.
     let mut need_artificial: Vec<bool> = vec![true; m];
-    let mut negate: Vec<bool> = vec![false; m];
-    for r in 0..m {
-        negate[r] = sf.rhs[r] < 0.0;
-    }
+    let negate: Vec<bool> = sf.rhs.iter().map(|&b| b < 0.0).collect();
     // Identify usable basis columns: a column works for row `r` if it has
     // coefficient +1 there (after the sign flip) and appears in no other
     // row. Auxiliary slack/surplus columns satisfy the uniqueness test by

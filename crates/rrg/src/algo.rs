@@ -174,9 +174,7 @@ pub fn find_nonpositive_cycle_with(
                 changed = Some(e.target);
             }
         }
-        if changed.is_none() {
-            return None; // converged: no nonpositive cycle
-        }
+        changed?; // converged: no nonpositive cycle
         if pass == n {
             changed_node = changed;
         }

@@ -152,7 +152,7 @@ impl Config {
         // every directed cycle has Σδ = 0, iff neither δ nor −δ admits a
         // negative cycle.
         let delta = |e: EdgeId| self.tokens[e.index()] - g.edge(e).tokens();
-        let bad_neg = algo::find_negative_cycle_with(&applied, |e| delta(e));
+        let bad_neg = algo::find_negative_cycle_with(&applied, delta);
         let bad_pos = algo::find_negative_cycle_with(&applied, |e| -delta(e));
         if let Some(cyc) = bad_neg.or(bad_pos) {
             return Err(ConfigError::NotARetiming { edge: cyc[0] });

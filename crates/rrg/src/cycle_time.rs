@@ -94,12 +94,16 @@ pub fn critical_path_with(g: &Rrg, buffers: &[i64]) -> Result<CriticalPath, Cycl
     let mut arrival = vec![0.0f64; n];
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     for &v in &order {
+        // The first bufferless predecessor is recorded unconditionally:
+        // seeding `best = 0.0` with no predecessor and comparing strictly
+        // would drop predecessors whose arrival is 0 (zero-delay path
+        // prefixes), truncating the reported critical path.
         let mut best = 0.0f64;
         let mut best_pred = None;
         for &e in g.in_edges(v) {
             if buffers[e.index()] == 0 {
                 let u = g.edge(e).source();
-                if arrival[u.0] > best {
+                if best_pred.is_none() || arrival[u.0] > best {
                     best = arrival[u.0];
                     best_pred = Some(u);
                 }
@@ -143,9 +147,27 @@ mod tests {
         let g = figures::figure_1a(0.5);
         let cp = critical_path(&g).unwrap();
         assert_eq!(cp.delay, 3.0);
-        // Critical path visits F1, F2, F3 (plus the zero-delay f and m).
+        // The full combinational path, endpoint to endpoint: F1 (whose
+        // input edge carries the EB) through the zero-delay f and m.
         let names: Vec<&str> = cp.nodes.iter().map(|&n| g.node(n).name()).collect();
-        assert!(names.windows(3).any(|w| w == ["F1", "F2", "F3"]), "{names:?}");
+        assert_eq!(names, ["F1", "F2", "F3", "f", "m"]);
+    }
+
+    #[test]
+    fn zero_delay_path_prefix_is_reported() {
+        // A zero-delay source used to be dropped from the reported path:
+        // its arrival time of 0 never beat the `best = 0.0` seed, so the
+        // backtrack stopped one node short of the true endpoint.
+        let mut b = RrgBuilder::new();
+        let a = b.add_simple("a", 0.0);
+        let c = b.add_simple("c", 1.0);
+        b.add_edge(a, c, 0, 0);
+        b.add_edge(c, a, 1, 1);
+        let g = b.build().unwrap();
+        let cp = critical_path(&g).unwrap();
+        assert_eq!(cp.delay, 1.0);
+        let names: Vec<&str> = cp.nodes.iter().map(|&n| g.node(n).name()).collect();
+        assert_eq!(names, ["a", "c"], "zero-delay prefix omitted");
     }
 
     #[test]

@@ -97,6 +97,57 @@ pub fn figure_nodes() -> (NodeId, NodeId, NodeId, NodeId, NodeId) {
     (NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4))
 }
 
+/// A pipelined generalisation of Figure 1(b): `lens.len()` stages in a
+/// ring, where stage `i` is a mux `m_i` (the only early node of the
+/// stage) feeding a chain of `lens[i]` unit-delay blocks that ends in a
+/// zero-delay block `f_i`, and `f_i` feeds the next stage's mux through
+/// two parallel channels — a "top" channel with three tokens in three EBs
+/// (γ = α) and an empty-EB "bottom" bypass (γ = 1 − α). Stage chains use
+/// Figure 1(b)'s placement: a token on the first chain edge, bubbles
+/// after.
+///
+/// Every stage multiplies the number of reachable anti-token/queue
+/// patterns, so the Markov state space grows geometrically with the
+/// stage count — the scaling workload for `rr-markov`'s sparse solver
+/// (2 stages of length 3 ≈ 2.5k states, 2×5 ≈ 28k, 3×3 ≈ 255k).
+///
+/// # Panics
+///
+/// Panics if `lens` is empty, any length is 0, or α ∉ (0, 1).
+pub fn figure_1b_pipeline(lens: &[usize], alpha: f64) -> Rrg {
+    assert!(!lens.is_empty(), "need at least one stage");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "branch probability α must lie strictly between 0 and 1"
+    );
+    let mut b = RrgBuilder::new();
+    let mut muxes = Vec::new();
+    let mut fs = Vec::new();
+    for (i, &len) in lens.iter().enumerate() {
+        assert!(len >= 1, "stage {i} has no blocks");
+        let m = b.add_early(format!("m{i}"), 0.0);
+        let mut prev = m;
+        for j in 0..len {
+            let fj = b.add_simple(format!("F{i}_{j}"), 1.0);
+            let (tokens, buffers) = if j == 0 { (1, 1) } else { (0, 1) };
+            b.add_edge(prev, fj, tokens, buffers);
+            prev = fj;
+        }
+        let f = b.add_simple(format!("f{i}"), 0.0);
+        b.add_edge(prev, f, 0, 0);
+        muxes.push(m);
+        fs.push(f);
+    }
+    for i in 0..lens.len() {
+        let m = muxes[(i + 1) % lens.len()];
+        let top = b.add_edge(fs[i], m, 3, 3);
+        let bottom = b.add_edge(fs[i], m, 0, 1);
+        b.set_gamma(top, alpha);
+        b.set_gamma(bottom, 1.0 - alpha);
+    }
+    b.build().expect("pipeline graphs are valid by construction")
+}
+
 /// Closed-form throughput of Figure 2 derived from its Markov chain in the
 /// paper: `Θ = 1/(3 − 2α)`.
 pub fn figure_2_throughput(alpha: f64) -> f64 {

@@ -82,7 +82,8 @@ pub const GAMMA_TOL: f64 = 1e-6;
 /// The first violation found, see [`ValidateError`].
 pub fn validate(g: &Rrg) -> Result<(), ValidateError> {
     for (id, n) in g.nodes() {
-        if !(n.delay() >= 0.0) {
+        // NaN delays must be rejected too, hence the explicit is_nan.
+        if n.delay() < 0.0 || n.delay().is_nan() {
             return Err(ValidateError::BadDelay {
                 node: id,
                 delay: n.delay(),

@@ -195,6 +195,15 @@ pub mod strategy {
     }
     range_strategies!(usize, u64, u32, i64, i32);
 
+    // Floats only support half-open ranges (mirroring the vendored rand).
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            use rand::RngExt;
+            rng.0.random_range(self.clone())
+        }
+    }
+
     macro_rules! tuple_strategies {
         ($(($($n:tt $s:ident),+),)*) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
