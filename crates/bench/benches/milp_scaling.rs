@@ -7,12 +7,19 @@
 //! * the `MAX_THR` MILP at the min-delay cycle time (simplex + B&B),
 //!
 //! and — the perf contract of the revised-simplex kernel — an explicit
-//! **kernel A/B comparison**: every instance is solved once with the
-//! production kernel (revised simplex, warm-started branch & bound) and
-//! once with the dense-tableau oracle (cold restarts), in the same run.
-//! Wall time, simplex pivots and node counts of both are appended to
-//! `BENCH_milp.json` (see `rr_bench::bench_log`) so the speedup is
-//! tracked across PRs.
+//! **kernel A/B comparison**: every instance is solved with the
+//! production kernel (revised simplex + Markowitz sparse LU,
+//! warm-started branch & bound), with the same kernel over the dense-LU
+//! snapshot (`FactorKind::Dense` — the factorization oracle), and with
+//! the dense-tableau oracle (cold restarts), in the same run. Wall time,
+//! simplex pivots, node counts, basis `nnz(L+U)` and refactorization
+//! counts are appended to `BENCH_milp.json` (see `rr_bench::bench_log`)
+//! so both speedup trajectories are tracked across PRs.
+//!
+//! The run **fails loudly** — after the records are written — if any
+//! kernel/factorization disagrees with its oracle on a completed
+//! (non-truncated) instance: a silent skip here would let a numerical
+//! regression masquerade as a perf win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -20,7 +27,7 @@ use std::time::Instant;
 
 use rr_bench::bench_log::{append, JsonRecord};
 use rr_core::{formulation, CoreOptions};
-use rr_milp::Kernel;
+use rr_milp::{FactorKind, Kernel};
 use rr_rrg::generate::GeneratorParams;
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
@@ -57,29 +64,38 @@ fn bench_milp_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// Solves `MAX_THR` once with explicit kernel options and returns a
-/// filled record plus the wall time.
+/// One `MAX_THR` measurement: wall time, objective and truncation flag.
+struct MilpMeasurement {
+    record: JsonRecord,
+    label: &'static str,
+    wall_ms: f64,
+    objective: f64,
+    truncated: bool,
+    peak_lu_nnz: usize,
+    basis_rows: usize,
+}
+
+/// Solves `MAX_THR` once with explicit kernel/factorization options and
+/// returns a filled record plus the headline numbers.
 fn measure_milp(
     g: &Rrg,
     edges: usize,
     kernel: Kernel,
     warm: bool,
-) -> (JsonRecord, f64, f64, bool) {
+    factor: FactorKind,
+) -> MilpMeasurement {
     let mut opts = CoreOptions::fast();
     opts.solver.kernel = kernel;
     opts.solver.warm_start = warm;
+    opts.solver.factor = factor;
     let t0 = Instant::now();
     let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let label = match kernel {
-        Kernel::Revised => {
-            if warm {
-                "revised_warm"
-            } else {
-                "revised_cold"
-            }
-        }
-        Kernel::DenseTableau => "dense_oracle",
+    let label = match (kernel, warm, factor) {
+        (Kernel::Revised, true, FactorKind::Sparse) => "revised_warm",
+        (Kernel::Revised, true, FactorKind::Dense) => "revised_warm_denselu",
+        (Kernel::Revised, false, _) => "revised_cold",
+        (Kernel::DenseTableau, ..) => "dense_oracle",
     };
     let record = JsonRecord::new("milp_scaling")
         .str("problem", "max_thr")
@@ -91,12 +107,23 @@ fn measure_milp(
         .int("pivots", out.stats.simplex_iters as u64)
         .int("warm_solves", out.stats.warm_solves as u64)
         .int("cold_solves", out.stats.cold_solves as u64)
+        .int("refactors", out.stats.refactors as u64)
+        .int("lu_nnz", out.stats.peak_lu_nnz as u64)
+        .int("basis_rows", out.stats.basis_rows as u64)
         .int("truncated", u64::from(out.stats.truncated));
-    (record, wall_ms, out.objective, out.stats.truncated)
+    MilpMeasurement {
+        record,
+        label,
+        wall_ms,
+        objective: out.objective,
+        truncated: out.stats.truncated,
+        peak_lu_nnz: out.stats.peak_lu_nnz,
+        basis_rows: out.stats.basis_rows,
+    }
 }
 
 /// Solves the LP throughput bound once with an explicit kernel.
-fn measure_lp(g: &Rrg, edges: usize, kernel: Kernel) -> (JsonRecord, f64) {
+fn measure_lp(g: &Rrg, edges: usize, kernel: Kernel) -> (JsonRecord, f64, f64) {
     let mut solver = rr_milp::SolverOptions::default();
     solver.kernel = kernel;
     let t = tgmg_of(g);
@@ -115,45 +142,72 @@ fn measure_lp(g: &Rrg, edges: usize, kernel: Kernel) -> (JsonRecord, f64) {
         .num("wall_ms", wall_ms)
         .num("objective", bound)
         .int("pivots", pivots as u64);
-    (record, wall_ms)
+    (record, wall_ms, bound)
 }
 
-/// The A/B pass: both kernels on every instance, speedup recorded for
-/// the largest MILP (the acceptance metric of the revised-kernel PR).
+/// The A/B pass: every instance solved by the production configuration
+/// (revised + sparse LU, warm), the dense-LU factorization oracle, the
+/// cold restart baseline, and the dense-tableau oracle; both speedups
+/// (vs the dense *snapshot* and vs the dense *tableau*) recorded for the
+/// largest MILP. Records are written to `BENCH_milp.json` **before** the
+/// agreement checks, so a disagreement fails loudly with the evidence
+/// already on disk.
 fn kernel_comparison(_c: &mut Criterion) {
     let mut records = Vec::new();
+    let mut lp_disagreements: Vec<String> = Vec::new();
     for &edges in &[60usize, 240] {
         let g = instance(edges);
-        let (rec, _) = measure_lp(&g, edges, Kernel::Revised);
+        let (rec, _, revised_obj) = measure_lp(&g, edges, Kernel::Revised);
         records.push(rec);
-        let (rec, _) = measure_lp(&g, edges, Kernel::DenseTableau);
+        let (rec, _, oracle_obj) = measure_lp(&g, edges, Kernel::DenseTableau);
         records.push(rec);
+        if (revised_obj - oracle_obj).abs() > 1e-7 * revised_obj.abs().max(1.0) {
+            lp_disagreements.push(format!(
+                "lp_bound {edges} edges: revised {revised_obj} vs dense oracle {oracle_obj}"
+            ));
+        }
     }
-    let mut largest: Option<(usize, f64, f64, f64, f64, bool)> = None;
+    let mut milp_disagreements: Vec<String> = Vec::new();
+    let mut largest: Option<(usize, MilpMeasurement, MilpMeasurement, MilpMeasurement)> = None;
     for &edges in &[20usize, 40] {
         let g = instance(edges);
-        let (rec, warm_ms, warm_obj, warm_trunc) = measure_milp(&g, edges, Kernel::Revised, true);
-        records.push(rec);
-        let (rec, _, _, _) = measure_milp(&g, edges, Kernel::Revised, false);
-        records.push(rec);
-        let (rec, dense_ms, dense_obj, dense_trunc) =
-            measure_milp(&g, edges, Kernel::DenseTableau, false);
-        records.push(rec);
-        largest = Some((
-            edges,
-            warm_ms,
-            dense_ms,
-            warm_obj,
-            dense_obj,
-            warm_trunc || dense_trunc,
-        ));
+        let warm = measure_milp(&g, edges, Kernel::Revised, true, FactorKind::Sparse);
+        let denselu = measure_milp(&g, edges, Kernel::Revised, true, FactorKind::Dense);
+        let cold = measure_milp(&g, edges, Kernel::Revised, false, FactorKind::Sparse);
+        let oracle = measure_milp(&g, edges, Kernel::DenseTableau, false, FactorKind::Sparse);
+        // Truncated searches may legitimately hold different incumbents
+        // (same caps, different pivot paths); completed ones must agree.
+        for pair in [&denselu, &cold, &oracle] {
+            if !warm.truncated
+                && !pair.truncated
+                && (warm.objective - pair.objective).abs()
+                    > 1e-7 * warm.objective.abs().max(1.0)
+            {
+                milp_disagreements.push(format!(
+                    "max_thr {edges} edges: revised_warm {} vs {} {}",
+                    warm.objective, pair.label, pair.objective
+                ));
+            }
+        }
+        for m in [&warm, &denselu, &cold, &oracle] {
+            records.push(m.record.clone());
+        }
+        largest = Some((edges, warm, denselu, oracle));
     }
-    if let Some((edges, warm_ms, dense_ms, warm_obj, dense_obj, truncated)) = largest {
-        let speedup = dense_ms / warm_ms.max(1e-9);
+    if let Some((edges, warm, denselu, oracle)) = largest {
+        let truncated = warm.truncated || denselu.truncated || oracle.truncated;
+        let factor_speedup = denselu.wall_ms / warm.wall_ms.max(1e-9);
+        let oracle_speedup = oracle.wall_ms / warm.wall_ms.max(1e-9);
         println!(
             "kernel comparison: largest MAX_THR instance ({edges} edges) \
-             revised+warm {warm_ms:.1} ms vs dense oracle {dense_ms:.1} ms \
-             → speedup {speedup:.2}×{}",
+             sparse-LU {:.1} ms vs dense-LU snapshot {:.1} ms (×{factor_speedup:.2}) \
+             vs dense tableau {:.1} ms (×{oracle_speedup:.2}); \
+             nnz(L+U) {} vs m² = {}{}",
+            warm.wall_ms,
+            denselu.wall_ms,
+            oracle.wall_ms,
+            warm.peak_lu_nnz,
+            warm.basis_rows * warm.basis_rows,
             if truncated {
                 "  (budget-truncated: same node/time caps, incumbents may differ)"
             } else {
@@ -163,15 +217,28 @@ fn kernel_comparison(_c: &mut Criterion) {
         records.push(
             JsonRecord::new("milp_scaling_summary")
                 .int("largest_edges", edges as u64)
-                .num("revised_warm_ms", warm_ms)
-                .num("dense_oracle_ms", dense_ms)
-                .num("speedup", speedup)
-                .num("revised_warm_objective", warm_obj)
-                .num("dense_oracle_objective", dense_obj)
+                .num("revised_warm_ms", warm.wall_ms)
+                .num("dense_lu_ms", denselu.wall_ms)
+                .num("dense_oracle_ms", oracle.wall_ms)
+                .num("factor_speedup", factor_speedup)
+                .num("speedup", oracle_speedup)
+                .int("sparse_lu_nnz", warm.peak_lu_nnz as u64)
+                .int("dense_lu_nnz", denselu.peak_lu_nnz as u64)
+                .int("basis_rows", warm.basis_rows as u64)
+                .num("revised_warm_objective", warm.objective)
+                .num("dense_oracle_objective", oracle.objective)
                 .int("truncated", u64::from(truncated)),
         );
     }
     append(&records);
+    // Loud failure *after* the evidence is logged.
+    let disagreements: Vec<String> =
+        lp_disagreements.into_iter().chain(milp_disagreements).collect();
+    assert!(
+        disagreements.is_empty(),
+        "kernel/oracle disagreement (records already in BENCH_milp.json):\n{}",
+        disagreements.join("\n")
+    );
 }
 
 criterion_group! {

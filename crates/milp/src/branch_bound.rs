@@ -64,6 +64,16 @@ pub struct BranchBoundStats {
     /// Node LPs solved two-phase from scratch (root, fallbacks, and all
     /// nodes when warm starts are disabled).
     pub cold_solves: usize,
+    /// Basis refactorizations across the whole search (warm path only;
+    /// the legacy per-node-rebuild path reports 0).
+    pub refactors: usize,
+    /// Largest `nnz(L+U)` any basis snapshot reached — `m²` under
+    /// [`crate::FactorKind::Dense`], the actual fill under
+    /// [`crate::FactorKind::Sparse`] (warm path only).
+    pub peak_lu_nnz: usize,
+    /// Basis dimension (constraint rows) of the bounded-variable form
+    /// (warm path only).
+    pub basis_rows: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -410,7 +420,7 @@ fn solve_warm(
         .filter(|(_, v)| v.is_integer())
         .map(|(id, _)| id)
         .collect();
-    let kernel = Revised::new(&form);
+    let kernel = Revised::new(&form, opts);
     let mut search = WarmSearch {
         model,
         kernel,
@@ -466,6 +476,9 @@ fn solve_warm(
 
     search.dfs(0, None)?;
     search.stats.simplex_iters = search.kernel.iters;
+    search.stats.refactors = search.kernel.factor_stats.refactors;
+    search.stats.peak_lu_nnz = search.kernel.factor_stats.peak_lu_nnz;
+    search.stats.basis_rows = search.kernel.dims().0;
     finish(search.best, search.stats)
 }
 

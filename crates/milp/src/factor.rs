@@ -1,29 +1,105 @@
 //! Basis factorization for the revised simplex kernel.
 //!
-//! The basis matrix `B` is held as a dense LU factorization (partial
-//! pivoting) of a snapshot basis `B₀`, composed with a **product-form eta
-//! file**: after `k` pivots, `B = B₀·E₁·…·E_k` where each `Eᵢ` is an
-//! identity matrix with one column replaced by the pivot direction
-//! `d = B⁻¹A_j`. FTRAN/BTRAN apply the LU triangles and then the eta
-//! transformations; when the file grows past [`Factor::needs_refactor`]
-//! the current basis is refactorized from scratch, which both caps the
-//! per-solve cost and flushes accumulated round-off.
+//! The basis matrix `B` is held as an **LU factorization of a snapshot
+//! basis `B₀`**, composed with a **product-form eta file**: after `k`
+//! pivots, `B = B₀·E₁·…·E_k` where each `Eᵢ` is an identity matrix with
+//! one column replaced by the pivot direction `d = B⁻¹A_j`. FTRAN/BTRAN
+//! apply the LU triangles and then the eta transformations; when the file
+//! grows past [`Factor::needs_refactor`] the current basis is
+//! refactorized from scratch, which both caps the per-solve cost and
+//! flushes accumulated round-off. The refactor policy is configurable
+//! ([`FactorConfig`]): the file is flushed when it is *long* (eta count)
+//! or *heavy* (accumulated eta fill relative to the LU's own nonzeros).
 //!
-//! The triangular solves are **column-oriented with zero skipping**: the
-//! simplex right-hand sides are extremely sparse (a constraint column for
-//! FTRAN, a couple of objective entries for BTRAN), so iterating over
-//! the columns of the triangle and skipping those whose multiplier is
-//! zero makes the solve cost proportional to the fill-in rather than
-//! `m²`. The LU is stored in both row- and column-major layout so both
-//! directions stream contiguous memory:
+//! Two snapshot factorizations implement the same contract, selected by
+//! [`FactorKind`](crate::FactorKind):
 //!
-//! * `L x = b` / `U x = y` (FTRAN) walk *columns* of `L`/`U` — contiguous
-//!   in the column-major copy;
+//! * [`SparseLu`] (the production default) — a **right-looking sparse LU
+//!   with Markowitz pivot ordering and threshold partial pivoting**. The
+//!   basis is assembled straight from the model's sparse columns (no
+//!   dense `m×m` matrix is ever materialized); at every elimination step
+//!   the pivot is chosen to minimize the Markowitz fill bound
+//!   `(r_i − 1)·(c_j − 1)` over the active submatrix, restricted to
+//!   entries within a threshold factor of their column's magnitude so
+//!   stability is not sacrificed for sparsity. The factors `P·B·Q = L·U`
+//!   (row *and* column permutations) store `O(nnz(L+U))`, and a refactor
+//!   costs `O(fill)` instead of `O(m³)`.
+//! * [`DenseLu`] — the original dense partial-pivoting LU, kept alive as
+//!   the **cross-validation oracle**: an independent implementation whose
+//!   FTRAN/BTRAN answers the property tests compare against, and the
+//!   baseline the `milp_scaling` bench measures the sparse scheme's
+//!   storage and speed wins over.
+//!
+//! Both store their triangles in **dual row/column-major layouts** so the
+//! triangular solves stay column-oriented with zero skipping in both
+//! directions (the simplex right-hand sides are extremely sparse — a
+//! constraint column for FTRAN, a couple of objective entries for BTRAN —
+//! so the solve cost tracks the fill-in of the solution, not `m²`):
+//!
+//! * `L x = b` / `U x = y` (FTRAN) walk *columns* of `L`/`U`;
 //! * `Uᵀ z = c` / `Lᵀ w = z` (BTRAN) walk columns of the transposes,
-//!   which are *rows* of `U`/`L` — contiguous in the row-major copy.
+//!   which are *rows* of `U`/`L`.
+//!
+//! Singularity tests are **relative to each basis column's scale** (the
+//! largest input magnitude of that column), so a well-conditioned but
+//! badly scaled basis (every entry ~1e-12) factors fine while a genuinely
+//! rank-deficient one (duplicate columns cancelling to round-off) is
+//! still rejected.
+
+use crate::model::FactorKind;
+
+/// Relative singularity threshold: a pivot candidate must exceed this
+/// fraction of its column's input scale to count as nonzero.
+const SINGULAR_REL: f64 = 1e-11;
+
+/// Threshold partial pivoting factor: a Markowitz candidate is
+/// admissible only when its magnitude is at least `PIVOT_THRESHOLD`
+/// times the largest magnitude in its (active) column.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Pivot-search cap: once a candidate exists, at most this many further
+/// columns (in increasing nonzero-count order) are examined.
+const MARKOWITZ_SEARCH_COLS: usize = 8;
+
+/// Resolved refactorization policy plus snapshot kind, derived from
+/// [`SolverOptions`](crate::SolverOptions) by the kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FactorConfig {
+    /// Which snapshot factorization backs the eta file.
+    pub kind: FactorKind,
+    /// Eta-file length that triggers a refactor; `0` = automatic
+    /// (`max(64, 2m)`, see [`Factor::needs_refactor`]).
+    pub max_etas: usize,
+    /// Refactor when the accumulated eta fill exceeds this multiple of
+    /// the LU's own nonzero count; non-finite or `<= 0` disables the
+    /// fill trigger.
+    pub fill_growth: f64,
+}
+
+impl FactorConfig {
+    /// Pulls the factorization-relevant knobs out of solver options.
+    pub fn resolve(opts: &crate::model::SolverOptions) -> FactorConfig {
+        FactorConfig {
+            kind: opts.factor,
+            max_etas: opts.refactor_eta_len,
+            fill_growth: opts.refactor_fill_growth,
+        }
+    }
+}
+
+impl Default for FactorConfig {
+    fn default() -> Self {
+        Self::resolve(&crate::model::SolverOptions::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense LU (cross-validation oracle)
+// ---------------------------------------------------------------------------
 
 /// Dense LU factorization `P·B = L·U` with partial pivoting, stored in
-/// both layouts (see the module docs).
+/// both layouts (see the module docs). Kept as the oracle behind
+/// [`FactorKind::Dense`].
 pub(crate) struct DenseLu {
     m: usize,
     /// Row-major `m × m`; strict lower triangle holds `L` (unit
@@ -37,8 +113,21 @@ pub(crate) struct DenseLu {
 
 impl DenseLu {
     /// Factors a dense row-major matrix; `None` when numerically singular.
+    ///
+    /// Singularity is judged **relative to each column's input scale**:
+    /// column `k` is declared dependent when its best pivot is below
+    /// `SINGULAR_REL · max_i |B_ik|`, so uniformly tiny (but
+    /// well-conditioned) bases are not misreported as singular.
     pub fn factor(mut a: Vec<f64>, m: usize) -> Option<DenseLu> {
         debug_assert_eq!(a.len(), m * m);
+        // Per-column scale of the *input* matrix, before elimination
+        // mixes columns.
+        let mut scale = vec![0.0f64; m];
+        for i in 0..m {
+            for j in 0..m {
+                scale[j] = scale[j].max(a[i * m + j].abs());
+            }
+        }
         let mut perm: Vec<usize> = (0..m).collect();
         for k in 0..m {
             // Partial pivot: largest magnitude in column k at/below row k.
@@ -51,7 +140,7 @@ impl DenseLu {
                     p = i;
                 }
             }
-            if mx < 1e-11 {
+            if mx <= SINGULAR_REL * scale[k] {
                 return None;
             }
             if p != k {
@@ -158,6 +247,375 @@ impl DenseLu {
             rhs[self.perm[i]] = z[i];
         }
     }
+
+    /// Stored nonzeros: the dense scheme always pays `m²`.
+    pub fn nnz(&self) -> usize {
+        self.m * self.m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU with Markowitz ordering and threshold partial pivoting
+// ---------------------------------------------------------------------------
+
+/// Sparse LU factorization `P·B·Q = L·U` (row *and* column permutations,
+/// chosen per elimination step by the Markowitz rule). `L` is unit lower
+/// triangular, `U` upper triangular; both are stored twice — by column
+/// for FTRAN and by row for BTRAN — in *factored* coordinates.
+pub(crate) struct SparseLu {
+    m: usize,
+    /// Column `k` of `L`: entries `(i, L[i][k])` with `i > k`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Row `k` of `L`: entries `(j, L[k][j])` with `j < k`.
+    l_rows: Vec<Vec<(usize, f64)>>,
+    /// Column `k` of `U` above the diagonal: entries `(i, U[i][k])`, `i < k`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Row `k` of `U` past the diagonal: entries `(j, U[k][j])`, `j > k`.
+    u_rows: Vec<Vec<(usize, f64)>>,
+    /// `U[k][k]` (pivot magnitudes are threshold-checked at selection).
+    u_diag: Vec<f64>,
+    /// `row_of[i]` = original row held at factored row `i` (`P`).
+    row_of: Vec<usize>,
+    /// `col_of[k]` = original basis slot held at factored column `k` (`Q`).
+    col_of: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factors the basis given as sparse columns (`cols[j]` lists the
+    /// `(row, value)` nonzeros of basis slot `j`, one entry per row);
+    /// `None` when numerically singular. No dense `m×m` matrix is
+    /// materialized at any point.
+    pub fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Option<SparseLu> {
+        debug_assert_eq!(cols.len(), m);
+        // Active submatrix, row-wise; rows sorted by column index. The
+        // rows are the source of truth; `col_rows` carries candidate row
+        // lists per column (pruned lazily) and `col_count` exact active
+        // nonzero counts.
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut col_count = vec![0usize; m];
+        let mut col_scale = vec![0.0f64; m];
+        for (j, cj) in cols.iter().enumerate() {
+            for &(r, v) in cj {
+                debug_assert!(r < m);
+                if v != 0.0 {
+                    rows[r].push((j, v));
+                    col_rows[j].push(r);
+                    col_count[j] += 1;
+                    col_scale[j] = col_scale[j].max(v.abs());
+                }
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+        }
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_rows_orig: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_diag = Vec::with_capacity(m);
+        let mut row_of = Vec::with_capacity(m);
+        let mut col_of = Vec::with_capacity(m);
+        // l_cols holds original row ids until the permutation is known.
+        let mut order: Vec<usize> = (0..m).collect();
+
+        for _step in 0..m {
+            // --- Markowitz pivot selection -----------------------------
+            // Active columns in increasing nonzero-count order (kept
+            // nearly sorted across steps, pruned and re-sorted in
+            // place); a column with no (numerically live) entry proves
+            // singularity, since fill can only appear in columns a pivot
+            // row touches.
+            order.retain(|&j| col_active[j]);
+            order.sort_unstable_by_key(|&j| col_count[j]);
+            let mut best: Option<(usize, usize, f64)> = None; // (row, col, value)
+            let mut best_cost = usize::MAX;
+            let mut examined = 0usize;
+            for &j in &order {
+                if col_count[j] == 0 {
+                    return None; // structurally singular
+                }
+                // Prune stale candidates and gather live entries. The
+                // candidate list may hold duplicates (an entry that
+                // cancelled and was later refilled is pushed again), so
+                // dedupe before gathering.
+                col_rows[j].sort_unstable();
+                col_rows[j].dedup();
+                let mut live: Vec<(usize, f64)> = Vec::with_capacity(col_count[j]);
+                col_rows[j].retain(|&r| {
+                    if !row_active[r] {
+                        return false;
+                    }
+                    match rows[r].binary_search_by_key(&j, |&(c, _)| c) {
+                        Ok(pos) => {
+                            live.push((r, rows[r][pos].1));
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                });
+                debug_assert_eq!(live.len(), col_count[j]);
+                let colmax = live.iter().map(|&(_, v)| v.abs()).fold(0.0f64, f64::max);
+                if colmax <= SINGULAR_REL * col_scale[j] {
+                    return None; // column cancelled to round-off
+                }
+                for &(r, v) in &live {
+                    if v.abs() < PIVOT_THRESHOLD * colmax || v.abs() <= SINGULAR_REL * col_scale[j]
+                    {
+                        continue;
+                    }
+                    let cost = (rows[r].len() - 1) * (col_count[j] - 1);
+                    let better = cost < best_cost
+                        || (cost == best_cost
+                            && best.is_some_and(|(_, _, bv)| v.abs() > bv.abs()));
+                    if better {
+                        best_cost = cost;
+                        best = Some((r, j, v));
+                    }
+                }
+                if best.is_some() {
+                    examined += 1;
+                    if best_cost == 0 || examined > MARKOWITZ_SEARCH_COLS {
+                        break;
+                    }
+                }
+            }
+            let (pr, pj, diag) = best?;
+
+            // --- record the pivot row and column ------------------------
+            row_active[pr] = false;
+            col_active[pj] = false;
+            row_of.push(pr);
+            col_of.push(pj);
+            u_diag.push(diag);
+            // Leaving the active submatrix: every entry of the pivot row
+            // drops out of its column's count.
+            let pivot_row: Vec<(usize, f64)> = rows[pr]
+                .iter()
+                .copied()
+                .filter(|&(c, _)| c != pj)
+                .collect();
+            for &(c, _) in &pivot_row {
+                col_count[c] -= 1;
+            }
+            col_count[pj] = 0;
+            u_rows_orig.push(pivot_row.clone());
+
+            // --- eliminate the pivot column from the active rows --------
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            let targets: Vec<usize> = col_rows[pj]
+                .iter()
+                .copied()
+                .filter(|&r| row_active[r])
+                .collect();
+            for r in targets {
+                let Ok(pos) = rows[r].binary_search_by_key(&pj, |&(c, _)| c) else {
+                    continue; // stale candidate
+                };
+                let mult = rows[r][pos].1 / diag;
+                lcol.push((r, mult));
+                // rows[r] := rows[r] − mult · pivot_row, dropping the pj
+                // entry; sorted merge keeps the row ordered and updates
+                // column counts (and candidate lists) for fill/cancel.
+                let old = std::mem::take(&mut rows[r]);
+                let mut merged = Vec::with_capacity(old.len() + pivot_row.len());
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < old.len() || b < pivot_row.len() {
+                    let ca = old.get(a).map(|&(c, _)| c);
+                    let cb = pivot_row.get(b).map(|&(c, _)| c);
+                    match (ca, cb) {
+                        (Some(ca_), _) if ca_ == pj => {
+                            a += 1; // the eliminated entry itself
+                        }
+                        (Some(ca_), Some(cb_)) if ca_ == cb_ => {
+                            let update = mult * pivot_row[b].1;
+                            let nv = old[a].1 - update;
+                            // Cancellation drop: keep the entry unless it
+                            // is negligible against what was subtracted.
+                            if nv.abs() > 1e-14 * (old[a].1.abs() + update.abs()) {
+                                merged.push((ca_, nv));
+                            } else {
+                                col_count[ca_] -= 1;
+                            }
+                            a += 1;
+                            b += 1;
+                        }
+                        (Some(ca_), Some(cb_)) if ca_ < cb_ => {
+                            merged.push(old[a]);
+                            a += 1;
+                        }
+                        (Some(_), Some(cb_)) | (None, Some(cb_)) => {
+                            // Fill-in at (r, cb_).
+                            let nv = -mult * pivot_row[b].1;
+                            if nv != 0.0 {
+                                merged.push((cb_, nv));
+                                col_count[cb_] += 1;
+                                col_rows[cb_].push(r);
+                            }
+                            b += 1;
+                        }
+                        (Some(_), None) => {
+                            merged.push(old[a]);
+                            a += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+                rows[r] = merged;
+            }
+            l_cols.push(lcol);
+        }
+
+        // --- remap original row/col ids to factored positions -----------
+        let mut rowpos = vec![0usize; m];
+        let mut colpos = vec![0usize; m];
+        for (k, &r) in row_of.iter().enumerate() {
+            rowpos[r] = k;
+        }
+        for (k, &c) in col_of.iter().enumerate() {
+            colpos[c] = k;
+        }
+        let mut l_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut u_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut u_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (k, lc) in l_cols.iter_mut().enumerate() {
+            for e in lc.iter_mut() {
+                e.0 = rowpos[e.0];
+                debug_assert!(e.0 > k);
+            }
+            lc.sort_unstable_by_key(|&(i, _)| i);
+            for &(i, v) in lc.iter() {
+                l_rows[i].push((k, v));
+            }
+        }
+        for (k, ur) in u_rows_orig.into_iter().enumerate() {
+            for (c, v) in ur {
+                let j = colpos[c];
+                debug_assert!(j > k);
+                u_rows[k].push((j, v));
+                u_cols[j].push((k, v));
+            }
+            u_rows[k].sort_unstable_by_key(|&(j, _)| j);
+        }
+        for uc in &mut u_cols {
+            uc.sort_unstable_by_key(|&(i, _)| i);
+        }
+        Some(SparseLu {
+            m,
+            l_cols,
+            l_rows,
+            u_cols,
+            u_rows,
+            u_diag,
+            row_of,
+            col_of,
+        })
+    }
+
+    /// Solves `B·x = rhs` in place; column-oriented with zero skipping.
+    pub fn solve(&self, rhs: &mut [f64]) {
+        let m = self.m;
+        let mut z = vec![0.0; m];
+        for k in 0..m {
+            z[k] = rhs[self.row_of[k]];
+        }
+        // L z' = P·rhs (unit lower), forward over columns of L.
+        for k in 0..m {
+            let zk = z[k];
+            if zk != 0.0 {
+                for &(i, l) in &self.l_cols[k] {
+                    z[i] -= l * zk;
+                }
+            }
+        }
+        // U x' = z', backward over columns of U.
+        for k in (0..m).rev() {
+            let xk = z[k] / self.u_diag[k];
+            z[k] = xk;
+            if xk != 0.0 {
+                for &(i, u) in &self.u_cols[k] {
+                    z[i] -= u * xk;
+                }
+            }
+        }
+        // x = Q·x'.
+        for k in 0..m {
+            rhs[self.col_of[k]] = z[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = rhs` in place; columns of `Uᵀ`/`Lᵀ` are the stored
+    /// rows of `U`/`L`, again with zero skipping.
+    pub fn solve_transpose(&self, rhs: &mut [f64]) {
+        let m = self.m;
+        let mut z = vec![0.0; m];
+        for k in 0..m {
+            z[k] = rhs[self.col_of[k]];
+        }
+        // Uᵀ z' = Qᵀ·rhs (lower triangular), forward over rows of U.
+        for k in 0..m {
+            let zk = z[k] / self.u_diag[k];
+            z[k] = zk;
+            if zk != 0.0 {
+                for &(j, u) in &self.u_rows[k] {
+                    z[j] -= u * zk;
+                }
+            }
+        }
+        // Lᵀ w = z' (unit upper in transpose), backward over rows of L.
+        for k in (0..m).rev() {
+            let wk = z[k];
+            if wk != 0.0 {
+                for &(j, l) in &self.l_rows[k] {
+                    z[j] -= l * wk;
+                }
+            }
+        }
+        // y = Pᵀ·w.
+        for k in 0..m {
+            rhs[self.row_of[k]] = z[k];
+        }
+    }
+
+    /// Stored nonzeros of `L + U` (unit diagonal of `L` not counted,
+    /// diagonal of `U` counted once).
+    pub fn nnz(&self) -> usize {
+        self.m
+            + self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + eta file
+// ---------------------------------------------------------------------------
+
+/// The snapshot factorization behind the eta file.
+enum Lu {
+    Dense(DenseLu),
+    Sparse(SparseLu),
+}
+
+impl Lu {
+    fn solve(&self, rhs: &mut [f64]) {
+        match self {
+            Lu::Dense(lu) => lu.solve(rhs),
+            Lu::Sparse(lu) => lu.solve(rhs),
+        }
+    }
+    fn solve_transpose(&self, rhs: &mut [f64]) {
+        match self {
+            Lu::Dense(lu) => lu.solve_transpose(rhs),
+            Lu::Sparse(lu) => lu.solve_transpose(rhs),
+        }
+    }
+    fn nnz(&self) -> usize {
+        match self {
+            Lu::Dense(lu) => lu.nnz(),
+            Lu::Sparse(lu) => lu.nnz(),
+        }
+    }
 }
 
 /// One product-form update: identity with column `row` replaced by the
@@ -173,52 +631,94 @@ pub(crate) struct Eta {
 
 /// LU snapshot plus eta file; see the module docs.
 pub(crate) struct Factor {
-    lu: DenseLu,
+    lu: Lu,
     etas: Vec<Eta>,
-    m: usize,
+    /// Accumulated eta fill (`1 + others.len()` per eta).
+    eta_nnz: usize,
+    /// Nonzeros of the snapshot LU at refactor time.
+    lu_nnz: usize,
+    /// Resolved policy: refactor at this eta-file length…
+    max_etas: usize,
+    /// …or at this much accumulated eta fill.
+    max_eta_fill: usize,
 }
 
 impl Factor {
-    /// Factorizes the basis given by `col(slot, scatter)` — a callback
-    /// that writes basis column `slot` into a dense scratch row. Returns
-    /// `None` when the basis is singular.
-    pub fn refactor<F>(m: usize, mut col: F) -> Option<Factor>
+    /// Factorizes the basis given by `col(slot, out)` — a callback that
+    /// appends basis column `slot`'s sparse `(row, value)` entries to
+    /// `out` (one entry per row). Returns `None` when the basis is
+    /// singular. Only [`FactorKind::Dense`] materializes an `m×m`
+    /// matrix; the sparse path assembles CSC directly.
+    pub fn refactor<F>(m: usize, cfg: &FactorConfig, mut col: F) -> Option<Factor>
     where
-        F: FnMut(usize, &mut [f64]),
+        F: FnMut(usize, &mut Vec<(usize, f64)>),
     {
-        let mut a = vec![0.0; m * m];
-        let mut scratch = vec![0.0; m];
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
         for j in 0..m {
-            scratch.iter_mut().for_each(|x| *x = 0.0);
+            scratch.clear();
             col(j, &mut scratch);
-            for i in 0..m {
-                a[i * m + j] = scratch[i];
-            }
+            cols.push(scratch.clone());
         }
+        let lu = match cfg.kind {
+            FactorKind::Sparse => Lu::Sparse(SparseLu::factor(m, &cols)?),
+            FactorKind::Dense => {
+                let mut a = vec![0.0; m * m];
+                for (j, cj) in cols.iter().enumerate() {
+                    for &(i, v) in cj {
+                        a[i * m + j] = v;
+                    }
+                }
+                Lu::Dense(DenseLu::factor(a, m)?)
+            }
+        };
+        let lu_nnz = lu.nnz();
+        // `max(64, 2m)` keeps the amortized refactor cost per pivot at
+        // `O(m²)` worst case while warm-started branch & bound (a handful
+        // of pivots per node) stays refactor-free across many nodes; the
+        // fill trigger refactors early when individual etas are dense
+        // (applying the file would outweigh a sparse refactor).
+        let max_etas = if cfg.max_etas == 0 {
+            64.max(2 * m)
+        } else {
+            cfg.max_etas
+        };
+        let max_eta_fill = if cfg.fill_growth.is_finite() && cfg.fill_growth > 0.0 {
+            ((cfg.fill_growth * lu_nnz.max(m).max(1) as f64) as usize).max(1)
+        } else {
+            usize::MAX
+        };
         Some(Factor {
-            lu: DenseLu::factor(a, m)?,
+            lu,
             etas: Vec::new(),
-            m,
+            eta_nnz: 0,
+            lu_nnz,
+            max_etas,
+            max_eta_fill,
         })
     }
 
-    /// `true` once the eta file is long enough that refactorizing is
-    /// cheaper than streaming more updates. Applying an eta costs its
-    /// fill (tens of entries) while refactorizing costs `O(m³)`, so the
-    /// break-even file length is well past `m`; `2m` keeps the amortized
-    /// refactor cost per pivot at `O(m²)` while the warm-started branch &
-    /// bound (a handful of pivots per node) stays refactor-free across
-    /// many consecutive nodes. Round-off accumulated by long files is
-    /// caught by the consumers (pivot-vanished checks, active-artificial
-    /// checks) which force an early refactorization.
+    /// `true` once streaming more eta updates is worse than
+    /// refactorizing: the file is long ([`FactorConfig::max_etas`]) or
+    /// its accumulated fill outgrew the LU itself
+    /// ([`FactorConfig::fill_growth`]). Round-off accumulated by long
+    /// files is caught by the consumers (pivot-vanished checks,
+    /// active-artificial checks) which force an early refactorization.
     pub fn needs_refactor(&self) -> bool {
-        self.etas.len() >= 64.max(2 * self.m)
+        self.etas.len() >= self.max_etas || self.eta_nnz >= self.max_eta_fill
+    }
+
+    /// Nonzeros of the snapshot `L + U` (the dense oracle reports its
+    /// full `m²` storage).
+    pub fn lu_nnz(&self) -> usize {
+        self.lu_nnz
     }
 
     /// Appends a pivot update; the caller guarantees `|pivot|` is safely
     /// away from zero.
     pub fn push(&mut self, eta: Eta) {
         debug_assert!(eta.pivot.abs() > 1e-12);
+        self.eta_nnz += 1 + eta.others.len();
         self.etas.push(eta);
     }
 
@@ -257,6 +757,28 @@ mod tests {
         a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
     }
 
+    /// Sparse columns of a dense row-major matrix.
+    fn csc_of(a: &[f64], m: usize) -> Vec<Vec<(usize, f64)>> {
+        (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&i| a[i * m + j] != 0.0)
+                    .map(|i| (i, a[i * m + j]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `Factor` over a dense row-major matrix with the given kind.
+    fn factor_of(a: &[f64], m: usize, kind: FactorKind) -> Option<Factor> {
+        let cols = csc_of(a, m);
+        let cfg = FactorConfig {
+            kind,
+            ..FactorConfig::default()
+        };
+        Factor::refactor(m, &cfg, |j, out| out.extend_from_slice(&cols[j]))
+    }
+
     #[test]
     fn lu_solves_small_system() {
         // [[2,1],[1,3]] x = [5,10] → x = [1,3].
@@ -272,29 +794,135 @@ mod tests {
     }
 
     #[test]
-    fn singular_matrix_is_rejected() {
-        assert!(DenseLu::factor(vec![1.0, 2.0, 2.0, 4.0], 2).is_none());
+    fn sparse_lu_solves_small_system() {
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let lu = SparseLu::factor(2, &csc_of(&a, 2)).unwrap();
+        let mut x = vec![5.0, 10.0];
+        lu.solve(&mut x);
+        assert!(approx(&x, &[1.0, 3.0]), "{x:?}");
+        let mut y = vec![4.0, 7.0];
+        lu.solve_transpose(&mut y);
+        assert!((2.0 * y[0] + 1.0 * y[1] - 4.0).abs() < 1e-9);
+        assert!((1.0 * y[0] + 3.0 * y[1] - 7.0).abs() < 1e-9);
+        assert!(lu.nnz() <= 4);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected_by_both_kinds() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(DenseLu::factor(a.clone(), 2).is_none());
+        assert!(SparseLu::factor(2, &csc_of(&a, 2)).is_none());
+    }
+
+    /// The degenerate-case suite: 1×1, permutation matrices, duplicate
+    /// columns, structurally singular (empty column/row), and empty.
+    #[test]
+    fn degenerate_cases_match_across_kinds() {
+        // 1×1.
+        for kind in [FactorKind::Sparse, FactorKind::Dense] {
+            let f = factor_of(&[4.0], 1, kind).unwrap();
+            let mut x = vec![6.0];
+            f.ftran(&mut x);
+            assert!((x[0] - 1.5).abs() < 1e-12, "{kind:?}");
+            let mut y = vec![8.0];
+            f.btran(&mut y);
+            assert!((y[0] - 2.0).abs() < 1e-12, "{kind:?}");
+            assert!(factor_of(&[0.0], 1, kind).is_none(), "{kind:?}");
+        }
+        // A 4×4 permutation matrix: nnz(L+U) must stay at m.
+        let p = vec![
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0, //
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ];
+        let sp = SparseLu::factor(4, &csc_of(&p, 4)).unwrap();
+        assert_eq!(sp.nnz(), 4, "permutation factors with zero fill");
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        sp.solve(&mut x);
+        // P x = b with P e.g. mapping col j → row i: x = Pᵀ b.
+        for i in 0..4 {
+            let got: f64 = (0..4).map(|j| p[i * 4 + j] * x[j]).sum();
+            assert!((got - (i as f64 + 1.0)).abs() < 1e-12);
+        }
+        // Duplicate columns → singular under both kinds.
+        let dup = vec![
+            1.0, 2.0, 1.0, //
+            0.5, -1.0, 0.5, //
+            3.0, 0.25, 3.0,
+        ];
+        assert!(factor_of(&dup, 3, FactorKind::Sparse).is_none());
+        assert!(factor_of(&dup, 3, FactorKind::Dense).is_none());
+        // Structurally singular: an empty column.
+        let hole = vec![
+            1.0, 0.0, 2.0, //
+            4.0, 0.0, 1.0, //
+            0.0, 0.0, 3.0,
+        ];
+        assert!(factor_of(&hole, 3, FactorKind::Sparse).is_none());
+        assert!(factor_of(&hole, 3, FactorKind::Dense).is_none());
+        // Empty basis (m = 0) factors trivially.
+        for kind in [FactorKind::Sparse, FactorKind::Dense] {
+            let f = factor_of(&[], 0, kind).unwrap();
+            f.ftran(&mut []);
+            f.btran(&mut []);
+        }
+    }
+
+    /// A well-conditioned basis scaled by 1e-9 must not be misreported
+    /// as singular (the old absolute `1e-11` pivot cutoff did exactly
+    /// that once entries dipped below it).
+    #[test]
+    fn tiny_but_well_conditioned_basis_factors() {
+        let scale = 1e-9;
+        // Entries of magnitude ~5e-12 < the old absolute 1e-11 cutoff.
+        let a: Vec<f64> = [
+            0.004, 0.001, 0.0, //
+            0.001, 0.003, 0.001, //
+            0.0, 0.001, 0.005,
+        ]
+        .iter()
+        .map(|v| v * scale)
+        .collect();
+        let b = [1.0, -2.0, 0.5];
+        for kind in [FactorKind::Sparse, FactorKind::Dense] {
+            let f = factor_of(&a, 3, kind)
+                .unwrap_or_else(|| panic!("{kind:?} misreported a scaled basis as singular"));
+            let mut x = b.to_vec();
+            f.ftran(&mut x);
+            for i in 0..3 {
+                let got: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+                assert!(
+                    (got - b[i]).abs() < 1e-9 * scale.max(1.0).max((x[i]).abs() * 1e-16),
+                    "{kind:?} row {i}: {got} vs {}",
+                    b[i]
+                );
+            }
+        }
     }
 
     #[test]
     fn eta_updates_track_column_replacement() {
         // Start from B0 = I (3×3); replace column 1 with d = (0.5, 2.0, 0.25).
-        let mut f = Factor::refactor(3, |j, s| s[j] = 1.0).unwrap();
-        f.push(Eta {
-            row: 1,
-            pivot: 2.0,
-            others: vec![(0, 0.5), (2, 0.25)],
-        });
-        // New B = [e0, (0.5,2,0.25), e2]. Solve B x = (1, 4, 1):
-        // x1 = 2, x0 = 1 - 0.5*2 = 0, x2 = 1 - 0.25*2 = 0.5.
-        let mut x = vec![1.0, 4.0, 1.0];
-        f.ftran(&mut x);
-        assert!(approx(&x, &[0.0, 2.0, 0.5]), "{x:?}");
-        // Bᵀ y = (3, 6, 8): y0 = 3, y2 = 8, row1: 0.5·y0 + 2·y1 + 0.25·y2 = 6
-        // → y1 = (6 − 1.5 − 2)/2 = 1.25.
-        let mut y = vec![3.0, 6.0, 8.0];
-        f.btran(&mut y);
-        assert!(approx(&y, &[3.0, 1.25, 8.0]), "{y:?}");
+        for kind in [FactorKind::Sparse, FactorKind::Dense] {
+            let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+            let mut f = factor_of(&eye, 3, kind).unwrap();
+            f.push(Eta {
+                row: 1,
+                pivot: 2.0,
+                others: vec![(0, 0.5), (2, 0.25)],
+            });
+            // New B = [e0, (0.5,2,0.25), e2]. Solve B x = (1, 4, 1):
+            // x1 = 2, x0 = 1 - 0.5*2 = 0, x2 = 1 - 0.25*2 = 0.5.
+            let mut x = vec![1.0, 4.0, 1.0];
+            f.ftran(&mut x);
+            assert!(approx(&x, &[0.0, 2.0, 0.5]), "{kind:?}: {x:?}");
+            // Bᵀ y = (3, 6, 8): y0 = 3, y2 = 8, row1: 0.5·y0 + 2·y1 + 0.25·y2 = 6
+            // → y1 = (6 − 1.5 − 2)/2 = 1.25.
+            let mut y = vec![3.0, 6.0, 8.0];
+            f.btran(&mut y);
+            assert!(approx(&y, &[3.0, 1.25, 8.0]), "{kind:?}: {y:?}");
+        }
     }
 
     #[test]
@@ -306,21 +934,98 @@ mod tests {
             4.0, 1.0, 0.0, 0.0, //
             0.0, 0.0, 3.0, 1.0,
         ];
-        let lu = DenseLu::factor(a.clone(), 4).unwrap();
-        let b = vec![1.0, -2.0, 0.5, 3.0];
-        let mut x = b.clone();
-        lu.solve(&mut x);
-        for i in 0..4 {
-            let got: f64 = (0..4).map(|j| a[i * 4 + j] * x[j]).sum();
-            assert!((got - b[i]).abs() < 1e-9, "row {i}: {got} vs {}", b[i]);
+        for kind in [FactorKind::Sparse, FactorKind::Dense] {
+            let f = factor_of(&a, 4, kind).unwrap();
+            let b = vec![1.0, -2.0, 0.5, 3.0];
+            let mut x = b.clone();
+            f.ftran(&mut x);
+            for i in 0..4 {
+                let got: f64 = (0..4).map(|j| a[i * 4 + j] * x[j]).sum();
+                assert!((got - b[i]).abs() < 1e-9, "{kind:?} row {i}: {got} vs {}", b[i]);
+            }
+            // Sparse rhs through the transpose: Bᵀ y = e2.
+            let mut y = vec![0.0, 0.0, 1.0, 0.0];
+            f.btran(&mut y);
+            for i in 0..4 {
+                let got: f64 = (0..4).map(|j| a[j * 4 + i] * y[j]).sum();
+                let want = if i == 2 { 1.0 } else { 0.0 };
+                assert!((got - want).abs() < 1e-9, "{kind:?} col {i}: {got} vs {want}");
+            }
         }
-        // Sparse rhs through the transpose: Bᵀ y = e2.
-        let mut y = vec![0.0, 0.0, 1.0, 0.0];
-        lu.solve_transpose(&mut y);
-        for i in 0..4 {
-            let got: f64 = (0..4).map(|j| a[j * 4 + i] * y[j]).sum();
-            let want = if i == 2 { 1.0 } else { 0.0 };
-            assert!((got - want).abs() < 1e-9, "col {i}: {got} vs {want}");
+    }
+
+    #[test]
+    fn sparse_nnz_tracks_fill_not_dimension() {
+        // A tridiagonal system: sparse LU fill stays O(m), the dense
+        // oracle burns m² regardless.
+        let m = 32;
+        let mut a = vec![0.0; m * m];
+        for i in 0..m {
+            a[i * m + i] = 4.0;
+            if i + 1 < m {
+                a[i * m + i + 1] = -1.0;
+                a[(i + 1) * m + i] = -1.0;
+            }
         }
+        let sparse = factor_of(&a, m, FactorKind::Sparse).unwrap();
+        let dense = factor_of(&a, m, FactorKind::Dense).unwrap();
+        assert!(sparse.lu_nnz() <= 3 * m, "fill {} on tridiagonal", sparse.lu_nnz());
+        assert_eq!(dense.lu_nnz(), m * m);
+        // Same answers regardless of storage.
+        let mut xs: Vec<f64> = (0..m).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut xd = xs.clone();
+        sparse.ftran(&mut xs);
+        dense.ftran(&mut xd);
+        assert!(approx(&xs, &xd), "ftran diverges");
+        let mut ys: Vec<f64> = (0..m).map(|i| ((i * 7) % 3) as f64).collect();
+        let mut yd = ys.clone();
+        sparse.btran(&mut ys);
+        dense.btran(&mut yd);
+        assert!(approx(&ys, &yd), "btran diverges");
+    }
+
+    /// The refactor policy fires exactly at the configured eta-file
+    /// length, and independently at the configured fill growth.
+    #[test]
+    fn refactor_policy_fires_at_configured_point() {
+        let eye = [1.0, 0.0, 0.0, 1.0];
+        let cols = csc_of(&eye, 2);
+        let mk = |max_etas, fill_growth| {
+            Factor::refactor(
+                2,
+                &FactorConfig {
+                    kind: FactorKind::Sparse,
+                    max_etas,
+                    fill_growth,
+                },
+                |j, out| out.extend_from_slice(&cols[j]),
+            )
+            .unwrap()
+        };
+        let eta = || Eta {
+            row: 0,
+            pivot: 2.0,
+            others: vec![(1, 0.5)],
+        };
+        // Length trigger: fires at exactly 3 etas.
+        let mut f = mk(3, f64::INFINITY);
+        f.push(eta());
+        f.push(eta());
+        assert!(!f.needs_refactor(), "fired below the configured length");
+        f.push(eta());
+        assert!(f.needs_refactor(), "did not fire at the configured length");
+        // Fill trigger: lu_nnz = 2, growth 2.0 → fires once eta fill ≥ 4,
+        // i.e. after two 2-entry etas, long before the length cap.
+        let mut f = mk(1_000_000, 2.0);
+        f.push(eta());
+        assert!(!f.needs_refactor(), "fill trigger fired early");
+        f.push(eta());
+        assert!(f.needs_refactor(), "fill trigger never fired");
+        // Disabled fill trigger (growth ≤ 0) never fires on fill.
+        let mut f = mk(1_000_000, 0.0);
+        for _ in 0..64 {
+            f.push(eta());
+        }
+        assert!(!f.needs_refactor());
     }
 }

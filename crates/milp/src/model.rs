@@ -128,6 +128,21 @@ pub enum Kernel {
     DenseTableau,
 }
 
+/// Which basis factorization backs the revised kernel's eta file (see
+/// the `factor` module docs). Ignored by [`Kernel::DenseTableau`], which
+/// has no factorization at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorKind {
+    /// Sparse LU with Markowitz pivot ordering and threshold partial
+    /// pivoting: `O(nnz(L+U))` storage and refactor cost proportional to
+    /// fill. The production default.
+    #[default]
+    Sparse,
+    /// Dense LU snapshot (`O(m²)` storage, `O(m³)` refactor), kept as
+    /// the cross-validation oracle for the sparse scheme.
+    Dense,
+}
+
 /// Resource limits and tolerances for the solver.
 ///
 /// The defaults match what the reproduction harness needs; the paper used a
@@ -157,6 +172,17 @@ pub struct SolverOptions {
     /// `false` every node is solved two-phase from scratch, which is the
     /// configuration the warm-start regression tests compare against).
     pub warm_start: bool,
+    /// Basis factorization behind the revised kernel (see [`FactorKind`]).
+    pub factor: FactorKind,
+    /// Eta-file length that triggers a refactorization; `0` (the
+    /// default) resolves to `max(64, 2m)` for a basis of `m` rows.
+    pub refactor_eta_len: usize,
+    /// Refactorize when the eta file's accumulated fill exceeds this
+    /// multiple of the snapshot LU's nonzero count (dense etas make
+    /// FTRAN/BTRAN pay their fill on every solve, so a heavy file is
+    /// flushed before the length cap); `<= 0` or non-finite disables the
+    /// fill trigger.
+    pub refactor_fill_growth: f64,
 }
 
 impl Default for SolverOptions {
@@ -175,6 +201,9 @@ impl Default for SolverOptions {
             gap_tol: 1e-9,
             kernel: Kernel::Revised,
             warm_start: true,
+            factor: FactorKind::Sparse,
+            refactor_eta_len: 0,
+            refactor_fill_growth: 8.0,
         }
     }
 }

@@ -16,7 +16,8 @@
 
 use proptest::prelude::*;
 
-use crate::model::{cmp, Kernel, Model, Sense, SolverOptions};
+use crate::factor::{Eta, Factor, FactorConfig};
+use crate::model::{cmp, FactorKind, Kernel, Model, Sense, SolverOptions};
 use crate::solution::SolveError;
 use crate::LinExpr;
 
@@ -236,5 +237,154 @@ proptest! {
                 b.map(|s| s.objective)
             ),
         }
+    }
+
+    /// **Factorization oracle**: random sparse nonsingular bases (planted
+    /// diagonal dominance, then randomly row/column-permuted) factored by
+    /// the Markowitz sparse LU and by the dense LU; FTRAN and BTRAN
+    /// answers must agree to 1e-9 — at the snapshot and through a
+    /// nonempty product-form eta file built from random pivot sequences.
+    #[test]
+    fn sparse_factor_matches_dense_oracle_through_eta_file(
+        m in 1usize..9,
+        entries in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), -1.0f64..1.0),
+            24,
+        ),
+        rowp in prop::collection::vec(any::<prop::sample::Index>(), 9),
+        colp in prop::collection::vec(any::<prop::sample::Index>(), 9),
+        pivots in prop::collection::vec(
+            (any::<prop::sample::Index>(), prop::collection::vec(-1.0f64..1.0, 9)),
+            4,
+        ),
+        rhs_raw in prop::collection::vec(-2.0f64..2.0, 9),
+        rhs_mask in prop::collection::vec(any::<bool>(), 9),
+    ) {
+        // Sparse-ish base matrix made nonsingular by strict diagonal
+        // dominance, then permuted so the factorizations must pivot.
+        let mut a = vec![0.0f64; m * m];
+        for (ri, ci, v) in &entries {
+            a[ri.index(m) * m + ci.index(m)] = *v;
+        }
+        for i in 0..m {
+            let off: f64 = (0..m).filter(|&j| j != i).map(|j| a[i * m + j].abs()).sum();
+            a[i * m + i] = off + 1.0;
+        }
+        let perm = |idx: &[prop::sample::Index]| {
+            let mut p: Vec<usize> = (0..m).collect();
+            for i in (1..m).rev() {
+                p.swap(i, idx[i].index(i + 1));
+            }
+            p
+        };
+        let (rp, cp) = (perm(&rowp), perm(&colp));
+        let mut b = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                b[rp[i] * m + cp[j]] = a[i * m + j];
+            }
+        }
+        let cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&i| b[i * m + j] != 0.0)
+                    .map(|i| (i, b[i * m + j]))
+                    .collect()
+            })
+            .collect();
+        let mk = |kind| {
+            Factor::refactor(
+                m,
+                &FactorConfig { kind, max_etas: 0, fill_growth: 8.0 },
+                |j, out| out.extend_from_slice(&cols[j]),
+            )
+            .expect("diagonally dominant basis is nonsingular")
+        };
+        let mut sparse = mk(FactorKind::Sparse);
+        let mut dense = mk(FactorKind::Dense);
+        prop_assert!(sparse.lu_nnz() <= m * m, "sparse fill exceeds dense storage");
+
+        // A sparse right-hand side (masked), checked in both directions
+        // after every basis change.
+        let rhs: Vec<f64> = (0..m)
+            .map(|i| if rhs_mask[i] { rhs_raw[i] } else { 0.0 })
+            .collect();
+        let check = |sparse: &Factor, dense: &Factor, stage: &str| {
+            let mut xs = rhs.clone();
+            let mut xd = rhs.clone();
+            sparse.ftran(&mut xs);
+            dense.ftran(&mut xd);
+            for i in 0..m {
+                assert!(
+                    (xs[i] - xd[i]).abs() < 1e-9,
+                    "{stage}: ftran[{i}] sparse {} vs dense {}",
+                    xs[i],
+                    xd[i]
+                );
+            }
+            let mut ys = rhs.clone();
+            let mut yd = rhs.clone();
+            sparse.btran(&mut ys);
+            dense.btran(&mut yd);
+            for i in 0..m {
+                assert!(
+                    (ys[i] - yd[i]).abs() < 1e-9,
+                    "{stage}: btran[{i}] sparse {} vs dense {}",
+                    ys[i],
+                    yd[i]
+                );
+            }
+        };
+        check(&sparse, &dense, "snapshot");
+
+        // Random pivot sequence: replace basis slot r with a random
+        // column whose direction d = B⁻¹a has a usable pivot; both
+        // factors receive the *same* eta, so they must keep agreeing.
+        for (slot, colvals) in &pivots {
+            let r = slot.index(m);
+            let mut d: Vec<f64> = colvals[..m].to_vec();
+            dense.ftran(&mut d);
+            if d[r].abs() < 0.1 {
+                continue; // replacement would make B near-singular
+            }
+            let others: Vec<(usize, f64)> = d
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| i != r && v.abs() > 1e-12)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            sparse.push(Eta { row: r, pivot: d[r], others: others.clone() });
+            dense.push(Eta { row: r, pivot: d[r], others });
+            check(&sparse, &dense, "eta file");
+        }
+    }
+
+    /// The sparse and dense basis factorizations, driven through the full
+    /// warm-started branch & bound, must land on the same MILP optimum —
+    /// also under an aggressive refactor policy that flushes the eta file
+    /// every couple of pivots.
+    #[test]
+    fn factor_kinds_agree_on_milp_objectives(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let base = SolverOptions { max_nodes: 2_000, ..Default::default() };
+        let sparse = m.solve_with(&base).unwrap();
+        let dense = m
+            .solve_with(&SolverOptions { factor: FactorKind::Dense, ..base.clone() })
+            .unwrap();
+        prop_assert!(
+            (sparse.objective - dense.objective).abs() < 1e-7,
+            "sparse-LU {} vs dense-LU {}",
+            sparse.objective,
+            dense.objective
+        );
+        let eager = m
+            .solve_with(&SolverOptions { refactor_eta_len: 2, ..base.clone() })
+            .unwrap();
+        prop_assert!(
+            (sparse.objective - eager.objective).abs() < 1e-7,
+            "default policy {} vs eager refactor {}",
+            sparse.objective,
+            eager.objective
+        );
     }
 }

@@ -27,10 +27,23 @@
 //!   column's box or a row's right-hand side in place; `x_B` is lazily
 //!   resynced by one sparse FTRAN at the next pivot run.
 
-use crate::factor::{Eta, Factor};
+use crate::factor::{Eta, Factor, FactorConfig};
 use crate::model::SolverOptions;
 use crate::solution::SolveError;
 use crate::standard::BoxedForm;
+
+/// Telemetry of the factorization layer, accumulated per kernel
+/// instance (surfaced through
+/// [`BranchBoundStats`](crate::BranchBoundStats) and the `milp_scaling`
+/// bench records).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct FactorStats {
+    /// Successful basis refactorizations.
+    pub refactors: usize,
+    /// Largest `nnz(L+U)` any snapshot reached (the dense oracle
+    /// reports its full `m²` storage here).
+    pub peak_lu_nnz: usize,
+}
 
 /// Outcome of a pivoting phase.
 enum PhaseEnd {
@@ -76,6 +89,9 @@ pub(crate) struct Revised {
     /// must be corrected by `B⁻¹·w` via one sparse FTRAN).
     pending: Vec<(usize, f64)>,
     factor: Option<Factor>,
+    /// Snapshot kind + refactor policy, resolved from the solver options
+    /// at construction.
+    fcfg: FactorConfig,
     /// `true` while the current basis is known dual feasible for the
     /// phase-2 costs — the precondition for warm-starting
     /// [`Revised::dual_reopt`] in place. Dual pivots preserve it; primal
@@ -83,11 +99,14 @@ pub(crate) struct Revised {
     dual_ok: bool,
     /// Simplex pivots (incl. bound flips) performed by this instance.
     pub iters: usize,
+    /// Refactorization/fill telemetry.
+    pub(crate) factor_stats: FactorStats,
 }
 
 impl Revised {
-    /// Builds the kernel over a bounded-variable form (no basis yet).
-    pub fn new(bf: &BoxedForm) -> Revised {
+    /// Builds the kernel over a bounded-variable form (no basis yet);
+    /// `opts` selects the basis factorization and its refactor policy.
+    pub fn new(bf: &BoxedForm, opts: &SolverOptions) -> Revised {
         let m = bf.sf.rows.len();
         let n = bf.sf.ncols;
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
@@ -110,8 +129,10 @@ impl Revised {
             xb: vec![0.0; m],
             pending: Vec::new(),
             factor: None,
+            fcfg: FactorConfig::resolve(opts),
             dual_ok: false,
             iters: 0,
+            factor_stats: FactorStats::default(),
         }
     }
 
@@ -259,11 +280,13 @@ impl Revised {
     /// is dropped so the kernel cannot be trusted until the next
     /// successful cold solve or install.
     fn refactor(&mut self) -> Result<(), SolveError> {
-        let factor = Factor::refactor(self.m, |slot, scratch| {
-            self.for_col(self.basis[slot], |r, v| scratch[r] = v);
+        let factor = Factor::refactor(self.m, &self.fcfg, |slot, out| {
+            self.for_col(self.basis[slot], |r, v| out.push((r, v)));
         });
         match factor {
             Some(f) => {
+                self.factor_stats.refactors += 1;
+                self.factor_stats.peak_lu_nnz = self.factor_stats.peak_lu_nnz.max(f.lu_nnz());
                 self.factor = Some(f);
                 Ok(())
             }
@@ -849,7 +872,7 @@ pub(crate) fn solve(
         }
         return Ok((y, 0));
     }
-    let mut kernel = Revised::new(bf);
+    let mut kernel = Revised::new(bf, opts);
     let mut pivots_left = opts.max_pivots;
     kernel.solve_two_phase(opts, &mut pivots_left)?;
     Ok((kernel.values(), kernel.iters))
@@ -974,7 +997,7 @@ mod tests {
         m.add_constraint(x + y, cmp::LE, 6.0);
         let bf = BoxedForm::build(&m);
         let opts = SolverOptions::default();
-        let mut k = Revised::new(&bf);
+        let mut k = Revised::new(&bf, &opts);
         let mut budget = opts.max_pivots;
         k.solve_two_phase(&opts, &mut budget).unwrap();
         let v0 = bf.sf.recover(&k.values());
@@ -1000,7 +1023,7 @@ mod tests {
         let row = m.add_constraint(x + y, cmp::LE, 6.0);
         let bf = BoxedForm::build(&m);
         let opts = SolverOptions::default();
-        let mut k = Revised::new(&bf);
+        let mut k = Revised::new(&bf, &opts);
         let mut budget = opts.max_pivots;
         k.solve_two_phase(&opts, &mut budget).unwrap();
         k.set_rhs(row, 3.0);
@@ -1019,7 +1042,7 @@ mod tests {
         m.add_constraint(LinExpr::var(x), cmp::LE, 2.0);
         let bf = BoxedForm::build(&m);
         let opts = SolverOptions::default();
-        let mut k = Revised::new(&bf);
+        let mut k = Revised::new(&bf, &opts);
         let mut budget = opts.max_pivots;
         k.solve_two_phase(&opts, &mut budget).unwrap();
         k.set_col_bounds(0, 3.0, 4.0);
@@ -1038,7 +1061,7 @@ mod tests {
         m.add_constraint(x + y, cmp::LE, 5.0);
         let bf = BoxedForm::build(&m);
         let opts = SolverOptions::default();
-        let mut k = Revised::new(&bf);
+        let mut k = Revised::new(&bf, &opts);
         let mut budget = opts.max_pivots;
         k.solve_two_phase(&opts, &mut budget).unwrap();
         let snap = k.basis_snapshot();
@@ -1056,6 +1079,45 @@ mod tests {
         k.primal_opt(&opts, &mut budget).unwrap();
         let v = bf.sf.recover(&k.values());
         assert!((2.0 * v[0] + v[1] - obj0).abs() < 1e-6, "{v:?} vs {obj0}");
+    }
+
+    /// The refactor policy from `SolverOptions` actually drives the
+    /// kernel: with `refactor_eta_len = 1` every basis-change pivot
+    /// flushes the eta file, so the refactor count must track the pivot
+    /// count — and the optimum must not move.
+    #[test]
+    fn solver_options_refactor_policy_reaches_the_kernel() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        let z = m.add_continuous("z", 0.0, f64::INFINITY);
+        m.set_objective(2.0 * x + 3.0 * y + z);
+        m.add_constraint(x + y + z, cmp::GE, 6.0);
+        m.add_constraint(x + 2.0 * y, cmp::GE, 4.0);
+        m.add_constraint(y + 3.0 * z, cmp::GE, 5.0);
+        let bf = BoxedForm::build(&m);
+        let run = |opts: &SolverOptions| {
+            let mut k = Revised::new(&bf, opts);
+            let mut budget = opts.max_pivots;
+            k.solve_two_phase(opts, &mut budget).unwrap();
+            let v = bf.sf.recover(&k.values());
+            let obj = 2.0 * v[0] + 3.0 * v[1] + v[2];
+            (obj, k.factor_stats.refactors, k.iters)
+        };
+        let (obj_default, refactors_default, _) = run(&SolverOptions::default());
+        let eager = SolverOptions {
+            refactor_eta_len: 1,
+            ..Default::default()
+        };
+        let (obj_eager, refactors_eager, iters) = run(&eager);
+        assert!((obj_default - obj_eager).abs() < 1e-9);
+        // Defaults never hit the `max(64, 2m)` cap on this small LP…
+        assert_eq!(refactors_default, 1, "only the crash refactor expected");
+        // …while the configured policy refactors after every eta push.
+        assert!(
+            refactors_eager > 1 && refactors_eager <= iters + 1,
+            "eager policy did not fire: {refactors_eager} refactors over {iters} pivots"
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --offline
 
+# The rr-milp property suites are the sparse-LU ↔ dense-oracle agreement
+# gate. The vendored proptest draws a deterministic, name-seeded stream
+# (see vendor/proptest), so this is a fixed-seed run by construction —
+# a failure here reproduces exactly on re-run.
+echo "==> cargo test -p rr-milp proptests (fixed-seed kernel/oracle gate)"
+cargo test -q -p rr-milp --offline proptests
+
 # Bench code must at least compile so the perf harness can't silently
 # rot between PRs (running the benches stays a manual/nightly job).
 echo "==> cargo bench --no-run"
