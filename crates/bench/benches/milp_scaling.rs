@@ -26,18 +26,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use rr_bench::bench_log::{append, JsonRecord};
+use rr_bench::milp_bench_instance as instance;
 use rr_core::{formulation, CoreOptions};
-use rr_milp::{FactorKind, Kernel};
-use rr_rrg::generate::GeneratorParams;
+use rr_milp::{FactorKind, Kernel, NodeOrder};
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
-
-fn instance(edges: usize) -> Rrg {
-    let nodes = edges / 2;
-    let early = (nodes / 8).max(1);
-    let p = GeneratorParams::paper_defaults(nodes - early, early, edges);
-    p.generate(42)
-}
 
 fn bench_lp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_bound_scaling");
@@ -101,6 +94,7 @@ fn measure_milp(
         .str("problem", "max_thr")
         .int("edges", edges as u64)
         .str("kernel", label)
+        .str("order", "dfs")
         .num("wall_ms", wall_ms)
         .num("objective", out.objective)
         .int("nodes", out.stats.nodes as u64)
@@ -143,6 +137,98 @@ fn measure_lp(g: &Rrg, edges: usize, kernel: Kernel) -> (JsonRecord, f64, f64) {
         .num("objective", bound)
         .int("pivots", pivots as u64);
     (record, wall_ms, bound)
+}
+
+/// One node-ordering measurement of `MAX_THR` at a fixed node cap (no
+/// wall clock, so the run is deterministic).
+fn measure_order(
+    g: &Rrg,
+    edges: usize,
+    order: NodeOrder,
+    factor: FactorKind,
+    max_nodes: usize,
+) -> (JsonRecord, f64, bool) {
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = None;
+    opts.solver.max_nodes = max_nodes;
+    opts.solver.node_order = order;
+    opts.solver.factor = factor;
+    let t0 = Instant::now();
+    let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let order_label = match order {
+        NodeOrder::DfsNearerFirst => "dfs",
+        NodeOrder::BestBound => "best_bound",
+    };
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "max_thr_ordering")
+        .int("edges", edges as u64)
+        .str("kernel", match factor {
+            FactorKind::Sparse => "revised_warm",
+            FactorKind::Dense => "revised_warm_denselu",
+        })
+        .str("order", order_label)
+        .int("node_cap", max_nodes as u64)
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("incumbents", out.stats.incumbents as u64)
+        .int("first_incumbent_node", out.stats.first_incumbent_node as u64)
+        .int("queue_peak", out.stats.queue_peak as u64)
+        .int("truncated", u64::from(out.stats.truncated));
+    (record, out.objective, out.stats.truncated)
+}
+
+/// The node-ordering A/B: `MAX_THR` on every bench instance under both
+/// orderings and both factorizations at a fixed node cap — the ROADMAP
+/// plateau case (truncated DFS on the 40-edge dense-LU run returns 4.0
+/// where best-bound finds 3.0), recorded per instance. Completed runs
+/// must agree on the objective; truncated runs record their incumbent
+/// quality, and best-bound must never end *worse* than DFS at the same
+/// cap.
+fn ordering_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut disagreements: Vec<String> = Vec::new();
+    let cap = 1000;
+    for &edges in &[20usize, 40] {
+        let g = instance(edges);
+        for factor in [FactorKind::Sparse, FactorKind::Dense] {
+            let (rec, dfs_obj, dfs_trunc) =
+                measure_order(&g, edges, NodeOrder::DfsNearerFirst, factor, cap);
+            records.push(rec);
+            let (rec, bb_obj, bb_trunc) =
+                measure_order(&g, edges, NodeOrder::BestBound, factor, cap);
+            records.push(rec);
+            if !dfs_trunc && !bb_trunc && (dfs_obj - bb_obj).abs() > 1e-7 * dfs_obj.abs().max(1.0)
+            {
+                disagreements.push(format!(
+                    "max_thr {edges} edges / {factor:?}: completed orderings disagree, \
+                     dfs {dfs_obj} vs best_bound {bb_obj}"
+                ));
+            }
+            // MAX_THR minimizes x: at the same cap the best-bound
+            // incumbent must be at least as good as DFS's.
+            if bb_obj > dfs_obj + 1e-7 {
+                disagreements.push(format!(
+                    "max_thr {edges} edges / {factor:?}: best_bound incumbent {bb_obj} \
+                     worse than dfs {dfs_obj} at node cap {cap}"
+                ));
+            }
+            println!(
+                "ordering comparison: max_thr {edges} edges / {factor:?} @ {cap} nodes: \
+                 dfs {dfs_obj}{} vs best_bound {bb_obj}{}",
+                if dfs_trunc { " (truncated)" } else { "" },
+                if bb_trunc { " (truncated)" } else { "" },
+            );
+        }
+    }
+    append(&records);
+    assert!(
+        disagreements.is_empty(),
+        "node-ordering regression (records already in BENCH_milp.json):\n{}",
+        disagreements.join("\n")
+    );
 }
 
 /// The A/B pass: every instance solved by the production configuration
@@ -244,6 +330,6 @@ fn kernel_comparison(_c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison
+    targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison
 }
 criterion_main!(benches);

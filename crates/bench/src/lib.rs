@@ -18,8 +18,22 @@ use std::time::Duration;
 
 use rr_core::CoreOptions;
 use rr_milp::SolverOptions;
+use rr_rrg::generate::GeneratorParams;
 use rr_rrg::iscas::IscasProfile;
+use rr_rrg::Rrg;
 use rr_tgmg::sim::SimParams;
+
+/// The `milp_scaling` bench instance family (paper-default generator,
+/// seed 42): the **single source of truth** for every consumer that
+/// claims to measure "the N-edge bench instance" — the `milp_scaling`
+/// bench records in `BENCH_milp.json`, the `factor_kernels` e2e
+/// regression, and the `search_orders` golden/ordering suite all pin
+/// trajectories of exactly this graph, so the definition must not fork.
+pub fn milp_bench_instance(edges: usize) -> Rrg {
+    let nodes = edges / 2;
+    let early = (nodes / 8).max(1);
+    GeneratorParams::paper_defaults(nodes - early, early, edges).generate(42)
+}
 
 /// Command-line options shared by the harness binaries.
 #[derive(Debug, Clone)]

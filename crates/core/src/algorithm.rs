@@ -109,6 +109,11 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
     let mut total_nodes = 0usize;
     let mut total_simplex_iters = 0usize;
     let mut outcome = max_thr(g, g.max_delay(), opts)?;
+    // Aggregate each solve's proof status the moment it returns (the old
+    // loop-top aggregation silently dropped the final `MAX_THR` outcome
+    // when the iteration bound — rather than the Θ_lp = 1 exit — ended
+    // the sweep, letting a truncated solve masquerade as proven).
+    all_proven &= outcome.proven_optimal;
     total_nodes += outcome.stats.nodes;
     total_simplex_iters += outcome.stats.simplex_iters;
     // Throughput targets advance by at least ε per iteration even when a
@@ -117,8 +122,11 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
     let mut target = 0.0f64;
     let max_iters = (1.0 / opts.epsilon) as usize + 4;
     for _ in 0..max_iters {
-        all_proven &= outcome.proven_optimal;
-        let eval = evaluate_config(g, &outcome.config, opts)?;
+        let mut eval = evaluate_config(g, &outcome.config, opts)?;
+        // Per-row provenance: Table 1 marks configurations whose solve
+        // hit a budget (Status::Feasible incumbents, like the paper's
+        // CPLEX timeouts) instead of presenting them as proven optima.
+        eval.proven_optimal = outcome.proven_optimal;
         let theta_lp = eval.theta_lp;
         push(&mut evaluations, eval);
         if theta_lp >= 1.0 - 1e-9 || target >= 1.0 {
@@ -136,6 +144,7 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
         let tau = cycle_time::cycle_time_with(g, &mc.config.buffers)
             .map_err(|e| OptError::Evaluation(e.to_string()))?;
         outcome = max_thr(g, tau, opts)?;
+        all_proven &= outcome.proven_optimal;
         total_nodes += outcome.stats.nodes;
         total_simplex_iters += outcome.stats.simplex_iters;
     }

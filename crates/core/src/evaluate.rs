@@ -25,6 +25,11 @@ pub struct RcEvaluation {
     pub xi_sim: f64,
     /// Relative over-estimation of the bound: `(Θ_lp − Θ)/Θ · 100`.
     pub err_pct: f64,
+    /// `false` when the configuration came from a budget-truncated MILP
+    /// solve (node/time limit hit with an incumbent), so Table-1 rows
+    /// can mark unproven points. Configurations that are not produced by
+    /// a solver (e.g. the min-delay retiming anchor) count as proven.
+    pub proven_optimal: bool,
 }
 
 /// Evaluates `config` on `g`.
@@ -54,6 +59,7 @@ pub fn evaluate_config(g: &Rrg, config: &Config, opts: &CoreOptions) -> Result<R
         xi_lp: tau / theta_lp,
         xi_sim: tau / theta_sim,
         err_pct: (theta_lp - theta_sim) / theta_sim * 100.0,
+        proven_optimal: true,
     })
 }
 

@@ -87,6 +87,16 @@ pub struct OptOutcome {
     pub stats: BranchBoundStats,
 }
 
+impl OptOutcome {
+    /// `true` when a node or time limit cut the search short, so the
+    /// configuration is a `Status::Feasible` incumbent rather than a
+    /// proven optimum — the explicit complement of
+    /// [`OptOutcome::proven_optimal`] for report paths.
+    pub fn truncated(&self) -> bool {
+        !self.proven_optimal
+    }
+}
+
 /// Whether a model parameter is an optimization variable or a constant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {

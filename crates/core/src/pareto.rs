@@ -52,6 +52,7 @@ mod tests {
             xi_lp: tau / theta_lp,
             xi_sim: tau / theta_lp,
             err_pct: 0.0,
+            proven_optimal: true,
         }
     }
 

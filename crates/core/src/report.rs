@@ -37,10 +37,14 @@ impl fmt::Display for Table1 {
                 (false, true) => " *sim",
                 (false, false) => "",
             };
+            // Rows from budget-truncated solves (Status::Feasible
+            // incumbents) are marked so they cannot pass for proven
+            // optima in the rendered table.
+            let limit = if ev.proven_optimal { "" } else { " (limit)" };
             writeln!(
                 f,
-                "{:<10} {:>9.2} {:>8.4} {:>8.4} {:>8.4} {:>10.4} {:>10.4}{}",
-                name, ev.tau, ev.theta_lp, ev.theta_sim, ev.err_pct, ev.xi_lp, ev.xi_sim, mark
+                "{:<10} {:>9.2} {:>8.4} {:>8.4} {:>8.4} {:>10.4} {:>10.4}{}{}",
+                name, ev.tau, ev.theta_lp, ev.theta_sim, ev.err_pct, ev.xi_lp, ev.xi_sim, mark, limit
             )?;
         }
         if let Some(delta) = self.outcome.delta_pct() {
@@ -263,6 +267,40 @@ mod tests {
         // Θ = 2/3); allow simulation noise around the tie.
         assert!(best >= ls - 0.05, "late sweep {best} beat retiming {ls}");
         assert!(best <= ls + 0.1, "late sweep failed to reach retiming");
+    }
+
+    #[test]
+    fn table1_marks_rows_from_truncated_solves() {
+        use crate::evaluate::RcEvaluation;
+        use rr_rrg::Config;
+        let mk_ev = |proven: bool| RcEvaluation {
+            config: Config {
+                tokens: vec![],
+                buffers: vec![],
+            },
+            tau: 2.0,
+            theta_lp: 0.5,
+            theta_sim: 0.5,
+            xi_lp: 4.0,
+            xi_sim: 4.0,
+            err_pct: 0.0,
+            proven_optimal: proven,
+        };
+        let t = Table1 {
+            name: "probe".into(),
+            outcome: MinEffCycOutcome {
+                evaluations: vec![mk_ev(true), mk_ev(false)],
+                all_proven_optimal: false,
+                total_nodes: 0,
+                total_simplex_iters: 0,
+            },
+        };
+        let rendered = t.to_string();
+        assert_eq!(
+            rendered.matches("(limit)").count(),
+            1,
+            "exactly the truncated row must be marked:\n{rendered}"
+        );
     }
 
     #[test]

@@ -1,52 +1,77 @@
-//! Branch & bound for mixed-integer models, with **warm-started nodes**.
+//! Branch & bound for mixed-integer models: one generic **search core**,
+//! pluggable **node ordering**, two LP backends.
 //!
-//! Depth-first search over bound tightenings with:
+//! # Architecture: `SearchCore` / `NodeOrder` / `LpBackend`
 //!
-//! * LP-relaxation pruning (a node whose relaxation cannot beat the
-//!   incumbent is cut),
-//! * most-fractional branching, exploring the nearer side first,
-//! * a **round-and-fix heuristic** (round all integer variables of a
-//!   relaxation, fix them, re-solve the LP for the continuous variables) to
-//!   obtain early incumbents — this is what makes the near-integral
-//!   retiming relaxations solve in a handful of nodes,
-//! * node and wall-clock limits that return the best incumbent with
-//!   [`Status::Feasible`] instead of failing.
+//! A single [`SearchCore`] owns everything the search itself consists of:
+//! the node/time budget, incumbent and gap bookkeeping, branching-variable
+//! selection (highest priority class, most fractional within it), the
+//! round-and-fix heuristic schedule, and the branch tree — an arena of
+//! one-bound-tightening [`TreeNode`]s whose boxes are (de)applied by
+//! walking the tree between consecutively expanded nodes (undo up to the
+//! lowest common ancestor, re-apply down), so jumping anywhere in the
+//! tree costs only the path difference. The core is parameterized twice:
 //!
-//! # Warm starts
+//! * **Node ordering** ([`NodeOrder`], selected by
+//!   [`SolverOptions::node_order`]):
+//!   [`NodeOrder::DfsNearerFirst`] is a LIFO stack exploring the nearer
+//!   branching side first — bit-compatible with the historical recursive
+//!   DFS (same node order, same kernel state at every solve, hence the
+//!   same node/pivot counts; the `search_orders` regression pins this).
+//!   [`NodeOrder::BestBound`] is a priority queue keyed on the **parent
+//!   LP bound** (ties broken most-recently-pushed-first) interleaved
+//!   with bounded depth-first **episodes**: each node popped from the
+//!   queue is dived from (children bypass the queue, LIFO) until the
+//!   dive dies or exceeds an episode cap scaled to the integer count,
+//!   whereupon the leftovers are flushed back into the queue — dives
+//!   find the integral leaves that weak LP bounds never would, while
+//!   the queue keeps the *frontier* in proven-potential order. Queued
+//!   entries whose bound cannot beat the incumbent are discarded
+//!   unsolved, and because the queue is bound-sorted the first
+//!   unprunable deficit proves optimality for the whole frontier. Every
+//!   queued child carries an `Rc` of its parent's optimal basis, so
+//!   best-first jumps still warm-start (**warm-basis handoff**) — the
+//!   fix for DFS's plateau incumbents under small node caps (see
+//!   ROADMAP / the 40-edge `MAX_THR` bench, where truncated DFS returns
+//!   4.0 and best-bound finds 3.0).
 //!
-//! With the revised kernel ([`Kernel::Revised`]) the search builds the
-//! **bounded-variable** form once ([`BoxedForm::build`]): every
-//! branchable integer variable is a boxed column, and branching rewrites
-//! that column's `[lo, hi]` box in place. Rhs and bound changes leave
-//! reduced costs untouched, so *any* optimal basis anywhere in the tree
-//! stays dual feasible for every node: the search runs as one continuous
-//! simplex process, each node reoptimized by a **bounded dual-simplex
-//! run** ([`Revised::dual_reopt`]) from whatever basis the previous node
-//! left behind — typically a handful of pivots and no refactorization.
-//! The round-and-fix heuristic reuses the same mechanism (pin every
-//! integer's box, dual-reoptimize, unpin). Fallbacks stay layered: a
-//! failed in-place reopt retries from the parent's snapshot
-//! ([`Revised::install_basis`]), then cold two-phase; and
-//! [`SolverOptions::warm_start`]` = false` forces cold node solves
-//! everywhere (the configuration the warm-start regression tests compare
-//! against).
+//! * **LP backend** ([`LpBackend`]): [`WarmBackend`] runs the revised
+//!   kernel over a [`BoxedForm`] built once — branching rewrites a
+//!   column's `[lo, hi]` box in place, and since rhs/bound changes leave
+//!   reduced costs untouched, *any* optimal basis anywhere in the tree is
+//!   dual feasible for every node: nodes are reoptimized by a bounded
+//!   dual-simplex run from whatever basis the previous node left behind,
+//!   falling back to the parent snapshot, then to a cold two-phase solve
+//!   ([`SolverOptions::warm_start`]` = false` forces cold solves — the
+//!   warm-start A/B baseline). [`LegacyBackend`] clones the model and
+//!   rebuilds the standard form at every node — the dense-tableau oracle
+//!   path, and the fallback for models whose integer variables cannot be
+//!   boxed (mirrored or free integers). What used to be a separate
+//!   `LegacySearch` with its own copy of the budget/gap/branching logic
+//!   is now just this backend under the shared core.
 //!
-//! Models whose integer variables cannot be boxed (lower bound −∞:
-//! mirrored or free integers) and the dense-tableau oracle kernel take
-//! the legacy path: clone the model, tighten variable bounds, rebuild
-//! the standard form at every node.
+//! The round-and-fix heuristic (round all integer variables of a
+//! relaxation, fix them, re-solve the continuous part) provides early
+//! incumbents — this is what makes the near-integral retiming
+//! relaxations solve in a handful of nodes. Node and wall-clock limits
+//! return the best incumbent with [`Status::Feasible`] instead of
+//! failing; [`Status::Optimal`] is reported only when the search
+//! genuinely completed (or closed the [`SolverOptions::gap_tol`] gap).
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::Instant;
 
 use crate::expr::VarId;
-use crate::model::{Kernel, Model, Sense, SolverOptions};
+use crate::model::{Kernel, Model, NodeOrder, Sense, SolverOptions};
 use crate::revised::{BasisState, Revised};
 use crate::solution::{Solution, SolveError, Status};
 use crate::standard::{BoxedForm, ColMap};
 
 /// Search statistics of the last branch-and-bound run (diagnostics and
 /// perf telemetry).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BranchBoundStats {
     /// LP relaxations solved (nodes explored).
     pub nodes: usize,
@@ -74,124 +99,135 @@ pub struct BranchBoundStats {
     /// Basis dimension (constraint rows) of the bounded-variable form
     /// (warm path only).
     pub basis_rows: usize,
+    /// Node ordering the search ran with.
+    pub order: NodeOrder,
+    /// Peak number of open (queued but not yet expanded) nodes.
+    pub queue_peak: usize,
+    /// Node count at the moment the first incumbent was accepted (0 =
+    /// seeded by the warm-start hint, before any node was solved).
+    /// Meaningful only when `incumbents > 0`.
+    pub first_incumbent_node: usize,
+    /// `(node index, objective)` at every incumbent acceptance, in
+    /// order — the improvement trajectory of the search.
+    pub incumbent_trace: Vec<(usize, f64)>,
+    /// LP relaxation objective of every solved node, in solve order
+    /// (`NaN` for nodes whose LP failed or proved infeasible). Length
+    /// equals `nodes`; best-bound entries discarded unsolved from the
+    /// queue do not appear.
+    pub node_bounds: Vec<f64>,
 }
 
 // ---------------------------------------------------------------------------
-// Warm-started search (revised kernel, mutable bound rows)
+// LP backends
 // ---------------------------------------------------------------------------
 
-struct WarmSearch<'a> {
+/// What the search core needs from an LP layer: apply a variable box,
+/// solve the node relaxation, snapshot warm-start state, and run the
+/// round-and-fix / hint pinning protocols.
+trait LpBackend {
+    /// `true` when integral leaves are re-solved through
+    /// [`LpBackend::round_and_fix`] to snap the stored point exactly
+    /// (the legacy behaviour); the warm kernel accepts the relaxation
+    /// point directly.
+    const SNAP_LEAVES: bool;
+
+    /// Whether the variable participates in pinning (branchable in the
+    /// LP layer; variables fixed at the root are skipped by the warm
+    /// backend).
+    fn branchable(&self, vi: usize) -> bool;
+
+    /// Pushes a model variable's current box into the LP.
+    fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64);
+
+    /// Solves the current node LP and returns the relaxation optimum.
+    fn solve_node(
+        &mut self,
+        opts: &SolverOptions,
+        parent: Option<&BasisState>,
+        stats: &mut BranchBoundStats,
+    ) -> Result<Solution, SolveError>;
+
+    /// Warm-start state children should resume from (`None` when the
+    /// backend has none, or warm starts are disabled).
+    fn snapshot(&self, opts: &SolverOptions) -> Option<BasisState>;
+
+    /// Round-and-fix: pin `pins`, re-solve the continuous part, restore
+    /// the boxes in `restore` (and any internal LP state), and return
+    /// the polished candidate — `fallback` when the re-solve fails.
+    fn round_and_fix(
+        &mut self,
+        opts: &SolverOptions,
+        pins: &[(usize, f64)],
+        restore: &[(usize, f64, f64)],
+        fallback: &Solution,
+        stats: &mut BranchBoundStats,
+    ) -> Solution;
+
+    /// Hint seeding: pin `pins`, solve from scratch, restore, and return
+    /// the solution (`None` when the pinned LP fails).
+    fn seed_hint(
+        &mut self,
+        opts: &SolverOptions,
+        pins: &[(usize, f64)],
+        restore: &[(usize, f64, f64)],
+        stats: &mut BranchBoundStats,
+    ) -> Option<Solution>;
+
+    /// Final stats the backend owns (pivot totals, factorization
+    /// telemetry).
+    fn finish(&self, stats: &mut BranchBoundStats);
+}
+
+/// Revised-kernel backend over a [`BoxedForm`] built once; branching
+/// mutates column boxes in place and nodes dual-reoptimize from the
+/// previous basis.
+struct WarmBackend<'a> {
     model: &'a Model,
     form: BoxedForm,
     /// Per model variable: `(column, root lower bound)` of branchable
     /// integers; `None` for fixed or continuous variables.
     int_cols: Vec<Option<(usize, f64)>>,
     kernel: Revised,
-    opts: &'a SolverOptions,
-    sense_mul: f64,
-    start: Instant,
-    best: Option<Solution>,
-    stats: BranchBoundStats,
-    int_vars: Vec<VarId>,
-    /// Current branch bounds per model variable (model space).
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-    stopped: bool,
 }
 
-impl WarmSearch<'_> {
-    fn out_of_budget(&self) -> bool {
-        if self.stats.nodes >= self.opts.max_nodes {
-            return true;
-        }
-        if let Some(limit) = self.opts.time_limit {
-            if self.start.elapsed() >= limit {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Signed objective for pruning comparisons (always "minimize").
-    fn signed(&self, obj: f64) -> f64 {
-        self.sense_mul * obj
-    }
-
-    /// Pushes the current `lo`/`hi` of a variable into its column box.
-    fn apply_var_bounds(&mut self, vi: usize) {
-        if let Some((col, lb0)) = self.int_cols[vi] {
-            self.kernel
-                .set_col_bounds(col, self.lo[vi] - lb0, self.hi[vi] - lb0);
-        }
-    }
-
+impl WarmBackend<'_> {
     /// Dual-reoptimizes the kernel **in place** (no refactorization): any
     /// dual-feasible basis is a valid warm-start seed for any rhs, so the
     /// state the previous node left behind works directly. `Err` values
     /// are *soft* failures (fall back) except [`SolveError::Infeasible`],
     /// which is a genuine verdict.
-    fn try_warm_in_place(&mut self) -> Result<(), SolveError> {
+    fn try_warm_in_place(&mut self, opts: &SolverOptions) -> Result<(), SolveError> {
         // Bounded reoptimization: a healthy warm start takes a handful of
         // pivots; if the dual run exceeds this budget a cold solve is
         // cheaper than fighting degeneracy.
         let (m, n) = self.kernel.dims();
-        let mut dual_budget = (1_000 + m + n / 4).min(self.opts.max_pivots);
-        self.kernel.dual_reopt(self.opts, &mut dual_budget)?;
-        let mut budget = self.opts.max_pivots;
-        self.kernel.primal_opt(self.opts, &mut budget)?;
+        let mut dual_budget = (1_000 + m + n / 4).min(opts.max_pivots);
+        self.kernel.dual_reopt(opts, &mut dual_budget)?;
+        let mut budget = opts.max_pivots;
+        self.kernel.primal_opt(opts, &mut budget)?;
         if self.kernel.has_active_artificial(1e-6) {
             return Err(SolveError::Numerical("artificial reactivated".into()));
         }
         Ok(())
     }
 
-    /// Like [`WarmSearch::try_warm_in_place`] but re-installing an
+    /// Like [`WarmBackend::try_warm_in_place`] but re-installing an
     /// explicit (parent) basis first — the fallback when the in-place
     /// state is unusable.
-    fn try_warm_install(&mut self, state: &BasisState) -> Result<(), SolveError> {
+    fn try_warm_install(
+        &mut self,
+        opts: &SolverOptions,
+        state: &BasisState,
+    ) -> Result<(), SolveError> {
         self.kernel.install_basis(state)?;
-        self.try_warm_in_place()
-    }
-
-    /// Solves the current node LP: in-place dual reoptimization when the
-    /// kernel state allows it, else from the parent basis, else cold.
-    fn solve_node(&mut self, parent: Option<&BasisState>) -> Result<(), SolveError> {
-        if let Some(parent_state) = parent.filter(|_| self.opts.warm_start) {
-            let outcome = if self.kernel.dual_ok() {
-                self.try_warm_in_place()
-            } else {
-                Err(SolveError::Numerical("kernel not dual feasible".into()))
-            };
-            let outcome = match outcome {
-                // Soft failure: retry from the parent's optimal basis.
-                Err(e) if e != SolveError::Infeasible => self.try_warm_install(parent_state),
-                other => other,
-            };
-            match outcome {
-                Ok(()) => {
-                    self.stats.warm_solves += 1;
-                    return Ok(());
-                }
-                Err(SolveError::Infeasible) => {
-                    // A dual-simplex proof of infeasibility concluded
-                    // the node — that is a successful warm solve.
-                    self.stats.warm_solves += 1;
-                    return Err(SolveError::Infeasible);
-                }
-                // Iteration limit, numerics, singular basis: retry cold.
-                Err(_) => {}
-            }
-        }
-        self.stats.cold_solves += 1;
-        let mut budget = self.opts.max_pivots;
-        self.kernel.solve_two_phase(self.opts, &mut budget)
+        self.try_warm_in_place(opts)
     }
 
     /// Reoptimizes after a bound change without node bookkeeping (used by
     /// the round-and-fix heuristic); cold fallback included.
-    fn reopt_in_place(&mut self) -> Result<(), SolveError> {
+    fn reopt_in_place(&mut self, opts: &SolverOptions) -> Result<(), SolveError> {
         let warm = if self.kernel.dual_ok() {
-            self.try_warm_in_place()
+            self.try_warm_in_place(opts)
         } else {
             Err(SolveError::Numerical("kernel not dual feasible".into()))
         };
@@ -199,8 +235,8 @@ impl WarmSearch<'_> {
             Ok(()) => Ok(()),
             Err(SolveError::Infeasible) => Err(SolveError::Infeasible),
             Err(_) => {
-                let mut budget = self.opts.max_pivots;
-                self.kernel.solve_two_phase(self.opts, &mut budget)
+                let mut budget = opts.max_pivots;
+                self.kernel.solve_two_phase(opts, &mut budget)
             }
         }
     }
@@ -215,290 +251,387 @@ impl WarmSearch<'_> {
             status: Status::Optimal,
         }
     }
+}
 
-    /// Picks the branching variable: highest priority class first, most
-    /// fractional within it; `None` when the point is integral.
-    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
-        let mut best: Option<(VarId, f64)> = None;
-        let mut best_key = (i32::MIN, self.opts.int_tol);
-        for &v in &self.int_vars {
-            let val = sol.value(v);
-            let frac = (val - val.round()).abs();
-            if frac <= self.opts.int_tol {
-                continue;
+impl LpBackend for WarmBackend<'_> {
+    const SNAP_LEAVES: bool = false;
+
+    fn branchable(&self, vi: usize) -> bool {
+        self.int_cols[vi].is_some()
+    }
+
+    fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64) {
+        if let Some((col, lb0)) = self.int_cols[vi] {
+            self.kernel.set_col_bounds(col, lo - lb0, hi - lb0);
+        }
+    }
+
+    /// Solves the current node LP: in-place dual reoptimization when the
+    /// kernel state allows it, else from the parent basis, else cold.
+    fn solve_node(
+        &mut self,
+        opts: &SolverOptions,
+        parent: Option<&BasisState>,
+        stats: &mut BranchBoundStats,
+    ) -> Result<Solution, SolveError> {
+        if let Some(parent_state) = parent.filter(|_| opts.warm_start) {
+            let outcome = if self.kernel.dual_ok() {
+                self.try_warm_in_place(opts)
+            } else {
+                Err(SolveError::Numerical("kernel not dual feasible".into()))
+            };
+            let outcome = match outcome {
+                // Soft failure: retry from the parent's optimal basis.
+                Err(e) if e != SolveError::Infeasible => self.try_warm_install(opts, parent_state),
+                other => other,
+            };
+            match outcome {
+                Ok(()) => {
+                    stats.warm_solves += 1;
+                    return Ok(self.node_solution());
+                }
+                Err(SolveError::Infeasible) => {
+                    // A dual-simplex proof of infeasibility concluded
+                    // the node — that is a successful warm solve.
+                    stats.warm_solves += 1;
+                    return Err(SolveError::Infeasible);
+                }
+                // Iteration limit, numerics, singular basis: retry cold.
+                Err(_) => {}
             }
-            let key = (self.model.var(v).priority(), frac);
-            if key > best_key {
-                best_key = key;
-                best = Some((v, val));
-            }
         }
-        best
+        stats.cold_solves += 1;
+        let mut budget = opts.max_pivots;
+        self.kernel.solve_two_phase(opts, &mut budget)?;
+        Ok(self.node_solution())
     }
 
-    /// Relative gap of the incumbent against the root LP bound.
-    fn within_gap(&self) -> bool {
-        let Some(best) = &self.best else { return false };
-        if self.stats.nodes == 0 {
-            return false;
-        }
-        let bound = self.signed(self.stats.root_bound);
-        let inc = self.signed(best.objective);
-        inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
+    fn snapshot(&self, opts: &SolverOptions) -> Option<BasisState> {
+        // Skipped entirely in the cold A/B configuration, which never
+        // reads it.
+        opts.warm_start.then(|| self.kernel.basis_snapshot())
     }
 
-    /// Installs `candidate` as the incumbent when it is integral and
-    /// improves on the current best.
-    fn accept_incumbent(&mut self, candidate: Solution) {
-        // Rounded values clamped into the current box can be fractional
-        // when an integer variable carries fractional bounds — only
-        // truly integral points may become incumbents.
-        let integral = self.int_vars.iter().all(|&v| {
-            let x = candidate.value(v);
-            (x - x.round()).abs() <= self.opts.int_tol
-        });
-        let better = match &self.best {
-            None => true,
-            Some(b) => self.signed(candidate.objective) < self.signed(b.objective) - 1e-9,
-        };
-        if integral && better {
-            self.stats.incumbents += 1;
-            self.best = Some(candidate);
-        }
-    }
-
-    /// Round-and-fix: pin every integer variable's box to the rounded
-    /// relaxation value, reoptimize the continuous part from the current
-    /// basis, and offer the result as an incumbent. The pre-heuristic
-    /// basis is restored afterwards so the next node's in-place warm
-    /// start resumes from the node optimum instead of re-navigating away
-    /// from the heuristic's pinned vertex (a no-op when the polish took
-    /// zero pivots).
-    fn offer_incumbent(&mut self, sol: &Solution) {
+    /// Pin every branchable integer's box to the rounded relaxation
+    /// value, reoptimize the continuous part from the current basis, and
+    /// return the result. The pre-heuristic basis is restored afterwards
+    /// so the next node's in-place warm start resumes from the node
+    /// optimum instead of re-navigating away from the heuristic's pinned
+    /// vertex (a no-op when the polish took zero pivots).
+    fn round_and_fix(
+        &mut self,
+        opts: &SolverOptions,
+        pins: &[(usize, f64)],
+        restore: &[(usize, f64, f64)],
+        fallback: &Solution,
+        _stats: &mut BranchBoundStats,
+    ) -> Solution {
         // The basis restore below only matters when later solves warm
         // start in place; cold mode re-crashes every node anyway.
-        let pre_basis = if self.opts.warm_start {
-            Some(self.kernel.basis_snapshot())
-        } else {
-            None
-        };
-        let mut saved: Vec<(usize, f64, f64)> = Vec::with_capacity(self.int_vars.len());
-        for k in 0..self.int_vars.len() {
-            let v = self.int_vars[k];
-            let vi = v.index();
-            if self.int_cols[vi].is_none() {
-                continue; // fixed at the root; already integral
-            }
-            let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
-            saved.push((vi, self.lo[vi], self.hi[vi]));
-            self.lo[vi] = val;
-            self.hi[vi] = val;
-            self.apply_var_bounds(vi);
+        let pre_basis = opts.warm_start.then(|| self.kernel.basis_snapshot());
+        for &(vi, val) in pins {
+            self.set_var_box(vi, val, val);
         }
-        let solved = self.reopt_in_place();
+        let solved = self.reopt_in_place(opts);
         let candidate = if solved.is_ok() {
             self.node_solution()
         } else {
             // The polish re-solve failed (rare numerics); fall back to
             // the relaxation point itself rather than dropping it.
-            sol.clone()
+            fallback.clone()
         };
-        self.accept_incumbent(candidate);
-        for (vi, l, h) in saved {
-            self.lo[vi] = l;
-            self.hi[vi] = h;
-            self.apply_var_bounds(vi);
+        for &(vi, l, h) in restore {
+            self.set_var_box(vi, l, h);
         }
         if let Some(pre_basis) = pre_basis {
             if self.kernel.install_basis(&pre_basis).is_ok() {
                 // The restored basis is the node's phase-2 optimum, hence
                 // dual feasible; a (normally zero-pivot) dual pass
                 // re-certifies it so the next node can warm-start in place.
-                let mut budget = self.opts.max_pivots;
-                let _ = self.kernel.dual_reopt(self.opts, &mut budget);
+                let mut budget = opts.max_pivots;
+                let _ = self.kernel.dual_reopt(opts, &mut budget);
             }
         }
+        candidate
     }
 
-    fn dfs(&mut self, depth: usize, parent: Option<&BasisState>) -> Result<(), SolveError> {
-        if self.stopped {
-            return Ok(());
-        }
-        if self.out_of_budget() {
-            self.stopped = true;
-            self.stats.truncated = true;
-            return Ok(());
-        }
-        self.stats.nodes += 1;
-        match self.solve_node(parent) {
-            Ok(()) => {}
-            Err(SolveError::Infeasible) => return Ok(()),
-            Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
-                // No usable bound for this subtree (budget or numerics):
-                // prune it and keep whatever incumbent exists — aborting
-                // would discard a feasible answer over one bad node.
-                self.stats.truncated = true;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        }
-        let relax = self.node_solution();
-        if depth == 0 {
-            self.stats.root_bound = relax.objective;
-        }
-        if let Some(best) = &self.best {
-            if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
-                return Ok(()); // cannot beat the incumbent
-            }
-        }
-        let Some((var, val)) = self.most_fractional(&relax) else {
-            // Integral leaf: the relaxation point IS the optimal
-            // incumbent for this box — no pin/reopt round trip needed.
-            self.accept_incumbent(relax);
-            return Ok(());
-        };
-        // Children warm-start from this node's optimal basis (snapshot
-        // before the heuristic perturbs the kernel); skipped entirely in
-        // the cold A/B configuration, which never reads it.
-        let my_basis = if self.opts.warm_start {
-            Some(self.kernel.basis_snapshot())
-        } else {
-            None
-        };
-
-        if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
-            self.offer_incumbent(&relax);
-        }
-        if self.within_gap() {
-            self.stopped = true;
-            return Ok(());
-        }
-
-        let floor = val.floor();
-        let ceil = val.ceil();
-        // Nearer side first.
-        let down_first = val - floor <= ceil - val;
-        let sides: [(f64, bool); 2] = if down_first {
-            [(floor, true), (ceil, false)]
-        } else {
-            [(ceil, false), (floor, true)]
-        };
-        let vi = var.index();
-        for (bound, is_upper) in sides {
-            let saved = (self.lo[vi], self.hi[vi]);
-            if is_upper {
-                self.hi[vi] = self.hi[vi].min(bound);
-            } else {
-                self.lo[vi] = self.lo[vi].max(bound);
-            }
-            if self.lo[vi] <= self.hi[vi] {
-                self.apply_var_bounds(vi);
-                self.dfs(depth + 1, my_basis.as_ref())?;
-            }
-            self.lo[vi] = saved.0;
-            self.hi[vi] = saved.1;
-            self.apply_var_bounds(vi);
-            if self.stopped {
-                return Ok(());
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Runs the warm-started search; every integer variable of `model` must
-/// be boxable (`Fixed` or `Shifted`).
-fn solve_warm(
-    model: &Model,
-    opts: &SolverOptions,
-    hint: &[(VarId, f64)],
-    form: BoxedForm,
-    int_cols: Vec<Option<(usize, f64)>>,
-) -> Result<(Solution, BranchBoundStats), SolveError> {
-    let int_vars: Vec<VarId> = model
-        .vars()
-        .filter(|(_, v)| v.is_integer())
-        .map(|(id, _)| id)
-        .collect();
-    let kernel = Revised::new(&form, opts);
-    let mut search = WarmSearch {
-        model,
-        kernel,
-        form,
-        int_cols,
-        opts,
-        sense_mul: match model.sense {
-            Sense::Minimize => 1.0,
-            Sense::Maximize => -1.0,
-        },
-        start: Instant::now(),
-        best: None,
-        stats: BranchBoundStats::default(),
-        int_vars,
-        lo: model.vars.iter().map(|v| v.lower).collect(),
-        hi: model.vars.iter().map(|v| v.upper).collect(),
-        stopped: false,
-    };
-
-    // Warm start hint: pin the hinted integers, solve the continuous
-    // part, and install the result as the first incumbent if integral.
-    if !hint.is_empty() {
-        let mut saved: Vec<(usize, f64, f64)> = Vec::new();
-        for &(v, val) in hint {
-            let vi = v.index();
-            if !search.model.var(v).is_integer() || search.int_cols[vi].is_none() {
-                continue;
-            }
-            let val = val.round().clamp(search.lo[vi], search.hi[vi]);
-            saved.push((vi, search.lo[vi], search.hi[vi]));
-            search.lo[vi] = val;
-            search.hi[vi] = val;
-            search.apply_var_bounds(vi);
+    fn seed_hint(
+        &mut self,
+        opts: &SolverOptions,
+        pins: &[(usize, f64)],
+        restore: &[(usize, f64, f64)],
+        _stats: &mut BranchBoundStats,
+    ) -> Option<Solution> {
+        for &(vi, val) in pins {
+            self.set_var_box(vi, val, val);
         }
         let mut budget = opts.max_pivots;
-        if search.kernel.solve_two_phase(opts, &mut budget).is_ok() {
-            let sol = search.node_solution();
-            let integral = search.int_vars.iter().all(|&v| {
-                let x = sol.value(v);
-                (x - x.round()).abs() <= opts.int_tol
-            });
-            if integral {
-                search.stats.incumbents += 1;
-                search.best = Some(sol);
-            }
+        let sol = self
+            .kernel
+            .solve_two_phase(opts, &mut budget)
+            .ok()
+            .map(|()| self.node_solution());
+        for &(vi, l, h) in restore {
+            self.set_var_box(vi, l, h);
         }
-        for (vi, l, h) in saved {
-            search.lo[vi] = l;
-            search.hi[vi] = h;
-            search.apply_var_bounds(vi);
+        sol
+    }
+
+    fn finish(&self, stats: &mut BranchBoundStats) {
+        stats.simplex_iters = self.kernel.iters;
+        stats.refactors = self.kernel.factor_stats.refactors;
+        stats.peak_lu_nnz = self.kernel.factor_stats.peak_lu_nnz;
+        stats.basis_rows = self.kernel.dims().0;
+    }
+}
+
+/// Model-clone backend: rebuilds the standard form at every node. Used by
+/// the dense-tableau oracle kernel and by models whose integer variables
+/// cannot be boxed (lower bound −∞: mirrored or free integers).
+struct LegacyBackend {
+    model: Model,
+    /// Integer variables, cached for the snap re-solve.
+    int_vars: Vec<VarId>,
+}
+
+impl LpBackend for LegacyBackend {
+    const SNAP_LEAVES: bool = true;
+
+    fn branchable(&self, _vi: usize) -> bool {
+        true
+    }
+
+    fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64) {
+        let v = &mut self.model.vars[vi];
+        v.lower = lo;
+        v.upper = hi;
+    }
+
+    fn solve_node(
+        &mut self,
+        opts: &SolverOptions,
+        _parent: Option<&BasisState>,
+        stats: &mut BranchBoundStats,
+    ) -> Result<Solution, SolveError> {
+        stats.cold_solves += 1;
+        let (sol, pivots) = self.model.solve_relaxation_counted(opts)?;
+        stats.simplex_iters += pivots;
+        Ok(sol)
+    }
+
+    fn snapshot(&self, _opts: &SolverOptions) -> Option<BasisState> {
+        None
+    }
+
+    /// Fixes **every** integer variable to its rounded value (clamped
+    /// into the node box) on a model clone and re-solves, so the stored
+    /// solution is exactly integral.
+    fn round_and_fix(
+        &mut self,
+        opts: &SolverOptions,
+        _pins: &[(usize, f64)],
+        _restore: &[(usize, f64, f64)],
+        fallback: &Solution,
+        stats: &mut BranchBoundStats,
+    ) -> Solution {
+        let mut fixed = self.model.clone();
+        for &v in &self.int_vars {
+            let val = fallback.value(v).round();
+            let var = fixed.var(v);
+            let val = val.clamp(var.lower(), var.upper());
+            fixed.fix_var(v, val);
+        }
+        match fixed.solve_relaxation_counted(opts) {
+            Ok((clean, pivots)) => {
+                stats.simplex_iters += pivots;
+                clean
+            }
+            // Snap re-solve failed: keep the relaxation point itself so
+            // an already-integral leaf is not discarded.
+            Err(_) => fallback.clone(),
         }
     }
 
-    search.dfs(0, None)?;
-    search.stats.simplex_iters = search.kernel.iters;
-    search.stats.refactors = search.kernel.factor_stats.refactors;
-    search.stats.peak_lu_nnz = search.kernel.factor_stats.peak_lu_nnz;
-    search.stats.basis_rows = search.kernel.dims().0;
-    finish(search.best, search.stats)
+    fn seed_hint(
+        &mut self,
+        opts: &SolverOptions,
+        pins: &[(usize, f64)],
+        _restore: &[(usize, f64, f64)],
+        stats: &mut BranchBoundStats,
+    ) -> Option<Solution> {
+        let mut fixed = self.model.clone();
+        for &(vi, val) in pins {
+            fixed.fix_var(VarId(vi), val);
+        }
+        let (sol, pivots) = fixed.solve_relaxation_counted(opts).ok()?;
+        stats.simplex_iters += pivots;
+        Some(sol)
+    }
+
+    fn finish(&self, _stats: &mut BranchBoundStats) {}
 }
 
 // ---------------------------------------------------------------------------
-// Legacy search (model clone + rebuild per node): dense-tableau oracle and
-// models with free/half-bounded integers.
+// Search core
 // ---------------------------------------------------------------------------
 
-struct LegacySearch<'a> {
-    model: Model,
+/// One node of the branch tree: a single bound tightening of `vi` on top
+/// of `parent`. Activating a node walks the tree from the previously
+/// active one (undo to the lowest common ancestor, apply down), so the
+/// stepwise box mutations — and hence the kernel state — are identical to
+/// what the historical recursive DFS produced.
+struct TreeNode {
+    parent: usize,
+    depth: usize,
+    /// Model variable branched on (`usize::MAX` for the root).
+    vi: usize,
+    /// The tightened box of `vi` at this node.
+    lo: f64,
+    hi: f64,
+    /// `vi`'s box at the parent (for the undo walk).
+    parent_lo: f64,
+    parent_hi: f64,
+}
+
+/// An open (queued) node: arena index, parent LP bound (signed, i.e.
+/// minimization form), push sequence number, and the parent's basis for
+/// warm-start handoff.
+struct OpenNode {
+    node: usize,
+    key: f64,
+    seq: usize,
+    basis: Option<Rc<BasisState>>,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    /// "Greatest" (popped first by the max-heap) = smallest bound key;
+    /// ties break toward the most recently pushed node, so equal-bound
+    /// stretches still dive like DFS.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The open-node container: LIFO stack for DFS, bound-keyed priority
+/// queue for best-bound.
+enum Frontier {
+    Dfs(Vec<OpenNode>),
+    Best(BinaryHeap<OpenNode>),
+}
+
+impl Frontier {
+    fn new(order: NodeOrder) -> Frontier {
+        match order {
+            NodeOrder::DfsNearerFirst => Frontier::Dfs(Vec::new()),
+            NodeOrder::BestBound => Frontier::Best(BinaryHeap::new()),
+        }
+    }
+    fn push(&mut self, n: OpenNode) {
+        match self {
+            Frontier::Dfs(v) => v.push(n),
+            Frontier::Best(h) => h.push(n),
+        }
+    }
+    fn pop(&mut self) -> Option<OpenNode> {
+        match self {
+            Frontier::Dfs(v) => v.pop(),
+            Frontier::Best(h) => h.pop(),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            Frontier::Dfs(v) => v.len(),
+            Frontier::Best(h) => h.len(),
+        }
+    }
+}
+
+/// The generic branch & bound driver; see the module docs.
+struct SearchCore<'a, B: LpBackend> {
+    backend: B,
+    model: &'a Model,
     opts: &'a SolverOptions,
     sense_mul: f64,
     start: Instant,
     best: Option<Solution>,
     stats: BranchBoundStats,
     int_vars: Vec<VarId>,
-    stopped: bool,
+    /// Current branch bounds per model variable (model space), tracking
+    /// the active tree node.
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    arena: Vec<TreeNode>,
+    /// Arena index of the node whose boxes are currently applied.
+    cur: usize,
+    frontier: Frontier,
+    /// Best-bound dive stack: each node popped from the priority queue
+    /// starts a bounded depth-first **episode** over its subtree
+    /// (children go here, LIFO, bypassing the queue) — plunging is what
+    /// finds integral leaves when the LP bound is weak, where pure
+    /// best-first would wander the shallow frontier forever. When the
+    /// episode exceeds [`SearchCore::episode_cap`] solved nodes, the
+    /// remaining dive entries are flushed into the queue (each already
+    /// carries its parent bound key and basis), and the globally best
+    /// bound picks the next episode's root.
+    dive: Vec<OpenNode>,
+    /// Nodes solved in the current best-bound episode.
+    episode: usize,
+    /// Episode length cap: scales with the number of integer variables
+    /// (an episode should be able to reach an integral leaf, which takes
+    /// on the order of one branching level per fractional integer).
+    episode_cap: usize,
+    seq: usize,
 }
 
-impl LegacySearch<'_> {
+impl<'a, B: LpBackend> SearchCore<'a, B> {
+    fn new(model: &'a Model, opts: &'a SolverOptions, backend: B) -> Self {
+        let int_vars: Vec<VarId> = model
+            .vars()
+            .filter(|(_, v)| v.is_integer())
+            .map(|(id, _)| id)
+            .collect();
+        let int_count = int_vars.len();
+        SearchCore {
+            backend,
+            model,
+            opts,
+            sense_mul: match model.sense {
+                Sense::Minimize => 1.0,
+                Sense::Maximize => -1.0,
+            },
+            start: Instant::now(),
+            best: None,
+            stats: BranchBoundStats {
+                order: opts.node_order,
+                ..BranchBoundStats::default()
+            },
+            int_vars,
+            lo: model.vars.iter().map(|v| v.lower).collect(),
+            hi: model.vars.iter().map(|v| v.upper).collect(),
+            arena: Vec::new(),
+            cur: 0,
+            frontier: Frontier::new(opts.node_order),
+            dive: Vec::new(),
+            episode: 0,
+            episode_cap: 64.max(2 * int_count),
+            seq: 0,
+        }
+    }
+
     fn out_of_budget(&self) -> bool {
         if self.stats.nodes >= self.opts.max_nodes {
             return true;
@@ -549,171 +682,335 @@ impl LegacySearch<'_> {
         inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
     }
 
-    /// Accepts `sol` as an incumbent if it improves on the current best.
-    /// Integer values are snapped and the continuous part re-solved so the
-    /// stored solution is exactly integral.
-    fn offer_incumbent(&mut self, sol: &Solution) {
-        let mut fixed = self.model.clone();
-        for &v in &self.int_vars {
-            let val = sol.value(v).round();
-            let var = fixed.var(v);
-            let val = val.clamp(var.lower(), var.upper());
-            fixed.fix_var(v, val);
-        }
-        let clean = match fixed.solve_relaxation_counted(self.opts) {
-            Ok((clean, pivots)) => {
-                self.stats.simplex_iters += pivots;
-                clean
-            }
-            // Snap re-solve failed: keep the relaxation point itself so
-            // an already-integral leaf is not discarded.
-            Err(_) => sol.clone(),
-        };
-        // See WarmSearch::offer_incumbent: clamping can re-fractionalize
-        // integers with fractional bounds.
+    /// Installs `candidate` as the incumbent when it is integral and
+    /// improves on the current best.
+    fn accept_incumbent(&mut self, candidate: Solution) {
+        // Rounded values clamped into the current box can be fractional
+        // when an integer variable carries fractional bounds — only
+        // truly integral points may become incumbents.
         let integral = self.int_vars.iter().all(|&v| {
-            let x = clean.value(v);
+            let x = candidate.value(v);
             (x - x.round()).abs() <= self.opts.int_tol
         });
         let better = match &self.best {
             None => true,
-            Some(b) => self.signed(clean.objective) < self.signed(b.objective) - 1e-9,
+            Some(b) => self.signed(candidate.objective) < self.signed(b.objective) - 1e-9,
         };
         if integral && better {
+            if self.stats.incumbents == 0 {
+                self.stats.first_incumbent_node = self.stats.nodes;
+            }
             self.stats.incumbents += 1;
-            self.best = Some(clean);
+            self.stats
+                .incumbent_trace
+                .push((self.stats.nodes, candidate.objective));
+            self.best = Some(candidate);
         }
     }
 
-    fn dfs(&mut self, depth: usize) -> Result<(), SolveError> {
-        if self.stopped {
-            return Ok(());
-        }
-        if self.out_of_budget() {
-            self.stopped = true;
-            self.stats.truncated = true;
-            return Ok(());
-        }
-        self.stats.nodes += 1;
-        self.stats.cold_solves += 1;
-        let relax = match self.model.solve_relaxation_counted(self.opts) {
-            Ok((sol, pivots)) => {
-                self.stats.simplex_iters += pivots;
-                sol
+    /// Round-and-fix heuristic: pin every branchable integer's box to
+    /// the rounded relaxation value, let the backend re-solve the
+    /// continuous part, and offer the result as an incumbent.
+    fn offer_incumbent(&mut self, sol: &Solution) {
+        let mut pins: Vec<(usize, f64)> = Vec::with_capacity(self.int_vars.len());
+        let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(self.int_vars.len());
+        for k in 0..self.int_vars.len() {
+            let v = self.int_vars[k];
+            let vi = v.index();
+            if !self.backend.branchable(vi) {
+                continue; // fixed at the root; already integral
             }
-            Err(SolveError::Infeasible) => return Ok(()),
-            Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
-                // The node LP ran out of pivots or hit numerical trouble;
-                // we cannot bound this subtree, so prune it and mark the
-                // search truncated (the incumbent — possibly the warm
-                // start — survives).
+            let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
+            pins.push((vi, val));
+            restore.push((vi, self.lo[vi], self.hi[vi]));
+        }
+        let candidate =
+            self.backend
+                .round_and_fix(self.opts, &pins, &restore, sol, &mut self.stats);
+        self.accept_incumbent(candidate);
+    }
+
+    /// Warm-start hint: pin the hinted integers, solve the continuous
+    /// part, and install the result as the first incumbent if integral.
+    fn seed_hint(&mut self, hint: &[(VarId, f64)]) {
+        if hint.is_empty() {
+            return;
+        }
+        let mut pins: Vec<(usize, f64)> = Vec::with_capacity(hint.len());
+        let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(hint.len());
+        for &(v, val) in hint {
+            let vi = v.index();
+            if !self.model.var(v).is_integer() || !self.backend.branchable(vi) {
+                continue;
+            }
+            let val = val.round().clamp(self.lo[vi], self.hi[vi]);
+            pins.push((vi, val));
+            restore.push((vi, self.lo[vi], self.hi[vi]));
+        }
+        if let Some(sol) = self
+            .backend
+            .seed_hint(self.opts, &pins, &restore, &mut self.stats)
+        {
+            // Accepted only if truly integral on all integer vars
+            // (hinted or not); recorded at node 0, before any search.
+            self.accept_incumbent(sol);
+        }
+    }
+
+    /// Undoes one node's tightening (restores the parent box of its
+    /// branch variable).
+    fn undo(&mut self, n: usize) {
+        let (vi, plo, phi) = {
+            let nd = &self.arena[n];
+            (nd.vi, nd.parent_lo, nd.parent_hi)
+        };
+        self.lo[vi] = plo;
+        self.hi[vi] = phi;
+        self.backend.set_var_box(vi, plo, phi);
+    }
+
+    /// Applies one node's tightening.
+    fn apply(&mut self, n: usize) {
+        let (vi, lo, hi) = {
+            let nd = &self.arena[n];
+            (nd.vi, nd.lo, nd.hi)
+        };
+        self.lo[vi] = lo;
+        self.hi[vi] = hi;
+        self.backend.set_var_box(vi, lo, hi);
+    }
+
+    /// Switches the applied boxes from the currently active node to `t`
+    /// by walking the tree: undo up to the lowest common ancestor, apply
+    /// down to `t`. For DFS this performs exactly the unwind/descend
+    /// sequence of the historical recursion; for best-bound it costs the
+    /// path difference of the jump.
+    fn activate(&mut self, t: usize) {
+        let mut a = self.cur;
+        let mut b = t;
+        let mut down: Vec<usize> = Vec::new();
+        while self.arena[a].depth > self.arena[b].depth {
+            self.undo(a);
+            a = self.arena[a].parent;
+        }
+        while self.arena[b].depth > self.arena[a].depth {
+            down.push(b);
+            b = self.arena[b].parent;
+        }
+        while a != b {
+            self.undo(a);
+            a = self.arena[a].parent;
+            down.push(b);
+            b = self.arena[b].parent;
+        }
+        for &n in down.iter().rev() {
+            self.apply(n);
+        }
+        self.cur = t;
+    }
+
+    /// Queues the two children of an expanded node (far branching side
+    /// first, so the LIFO stack pops — and equal-bound heap ties
+    /// resolve — the nearer side first). Under best-bound the nearer
+    /// existing child goes to the plunge slot instead of the queue.
+    /// Children whose box would be empty are never queued.
+    fn expand(&mut self, t: usize, var: VarId, val: f64, bound: f64, basis: Option<Rc<BasisState>>) {
+        let vi = var.index();
+        let depth = self.arena[t].depth + 1;
+        let floor = val.floor();
+        let ceil = val.ceil();
+        let down_first = val - floor <= ceil - val;
+        let key = self.signed(bound);
+        let (plo, phi) = (self.lo[vi], self.hi[vi]);
+        let down_child = (plo <= phi.min(floor)).then(|| TreeNode {
+            parent: t,
+            depth,
+            vi,
+            lo: plo,
+            hi: phi.min(floor),
+            parent_lo: plo,
+            parent_hi: phi,
+        });
+        let up_child = (plo.max(ceil) <= phi).then(|| TreeNode {
+            parent: t,
+            depth,
+            vi,
+            lo: plo.max(ceil),
+            hi: phi,
+            parent_lo: plo,
+            parent_hi: phi,
+        });
+        let (far, near) = if down_first {
+            (up_child, down_child)
+        } else {
+            (down_child, up_child)
+        };
+        let mut entries: Vec<OpenNode> = Vec::with_capacity(2);
+        for child in [far, near].into_iter().flatten() {
+            let idx = self.arena.len();
+            self.arena.push(child);
+            self.seq += 1;
+            entries.push(OpenNode {
+                node: idx,
+                key,
+                seq: self.seq,
+                basis: basis.clone(),
+            });
+        }
+        match self.opts.node_order {
+            NodeOrder::DfsNearerFirst => {
+                for e in entries {
+                    self.frontier.push(e);
+                }
+            }
+            NodeOrder::BestBound => {
+                // Children continue the current episode depth-first (the
+                // nearer side, pushed last, pops first).
+                self.dive.extend(entries);
+            }
+        }
+        self.stats.queue_peak = self
+            .stats
+            .queue_peak
+            .max(self.frontier.len() + self.dive.len());
+    }
+
+    /// The main loop: pop, activate, solve, bound, branch.
+    fn run(&mut self) -> Result<(), SolveError> {
+        self.arena.push(TreeNode {
+            parent: usize::MAX,
+            depth: 0,
+            vi: usize::MAX,
+            lo: 0.0,
+            hi: 0.0,
+            parent_lo: 0.0,
+            parent_hi: 0.0,
+        });
+        self.frontier.push(OpenNode {
+            node: 0,
+            key: f64::NEG_INFINITY,
+            seq: 0,
+            basis: None,
+        });
+        self.stats.queue_peak = 1;
+        loop {
+            // An over-long episode hands its remaining dive entries back
+            // to the queue (each carries its own bound key and basis), so
+            // the globally best bound picks the next episode's root.
+            if self.episode >= self.episode_cap && !self.dive.is_empty() {
+                for e in self.dive.drain(..) {
+                    self.frontier.push(e);
+                }
+            }
+            let open = match self.dive.pop() {
+                Some(p) => {
+                    // A dive node that cannot beat the incumbent is
+                    // discarded unsolved; the episode continues with its
+                    // pending siblings.
+                    let prunable = self.best.as_ref().is_some_and(|best| {
+                        p.key >= self.signed(best.objective) - 1e-9
+                    });
+                    if prunable {
+                        continue;
+                    }
+                    p
+                }
+                None => {
+                    self.episode = 0;
+                    let Some(o) = self.frontier.pop() else { break };
+                    if self.opts.node_order == NodeOrder::BestBound {
+                        if let Some(best) = &self.best {
+                            if o.key >= self.signed(best.objective) - 1e-9 {
+                                // The queue is bound-sorted: every
+                                // remaining open node is at least as bad,
+                                // so the incumbent is proven optimal.
+                                // Discarded entries were never solved and
+                                // are not counted as nodes.
+                                return Ok(());
+                            }
+                        }
+                    }
+                    o
+                }
+            };
+            if self.out_of_budget() {
                 self.stats.truncated = true;
                 return Ok(());
             }
-            // Bound tightenings cannot make a bounded LP unbounded, but a
-            // free-integer model may genuinely be unbounded at the root.
-            Err(e) => return Err(e),
-        };
-        if depth == 0 {
-            self.stats.root_bound = relax.objective;
-        }
-        if let Some(best) = &self.best {
-            if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
-                return Ok(()); // cannot beat the incumbent
+            self.activate(open.node);
+            self.stats.nodes += 1;
+            self.episode += 1;
+            let relax = match self
+                .backend
+                .solve_node(self.opts, open.basis.as_deref(), &mut self.stats)
+            {
+                Ok(sol) => sol,
+                Err(SolveError::Infeasible) => {
+                    self.stats.node_bounds.push(f64::NAN);
+                    continue;
+                }
+                Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
+                    // No usable bound for this subtree (budget or
+                    // numerics): prune it and keep whatever incumbent
+                    // exists — aborting would discard a feasible answer
+                    // over one bad node.
+                    self.stats.node_bounds.push(f64::NAN);
+                    self.stats.truncated = true;
+                    continue;
+                }
+                // Bound tightenings cannot make a bounded LP unbounded,
+                // but a free-integer model may genuinely be unbounded at
+                // the root.
+                Err(e) => return Err(e),
+            };
+            self.stats.node_bounds.push(relax.objective);
+            let depth = self.arena[open.node].depth;
+            if depth == 0 {
+                self.stats.root_bound = relax.objective;
             }
-        }
-        let Some((var, val)) = self.most_fractional(&relax) else {
-            self.offer_incumbent(&relax);
-            return Ok(());
-        };
-
-        if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
-            self.offer_incumbent(&relax);
-        }
-        if self.within_gap() {
-            self.stopped = true;
-            return Ok(());
-        }
-
-        let floor = val.floor();
-        let ceil = val.ceil();
-        // Nearer side first.
-        let down_first = val - floor <= ceil - val;
-        let sides: [(f64, bool); 2] = if down_first {
-            [(floor, true), (ceil, false)]
-        } else {
-            [(ceil, false), (floor, true)]
-        };
-        for (bound, is_upper) in sides {
-            let saved = (self.model.var(var).lower(), self.model.var(var).upper());
-            if is_upper {
-                self.model.tighten_upper(var, bound);
-            } else {
-                self.model.tighten_lower(var, bound);
+            if let Some(best) = &self.best {
+                if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
+                    continue; // cannot beat the incumbent
+                }
             }
-            if self.model.var(var).lower() <= self.model.var(var).upper() {
-                self.dfs(depth + 1)?;
+            let Some((var, val)) = self.most_fractional(&relax) else {
+                // Integral leaf: the relaxation point IS the optimal
+                // incumbent for this box (the legacy backend re-solves it
+                // once to snap the stored point exactly).
+                if B::SNAP_LEAVES {
+                    self.offer_incumbent(&relax);
+                } else {
+                    self.accept_incumbent(relax);
+                }
+                continue;
+            };
+            // Children warm-start from this node's optimal basis
+            // (snapshot before the heuristic perturbs the kernel).
+            let my_basis = self.backend.snapshot(self.opts).map(Rc::new);
+            if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
+                self.offer_incumbent(&relax);
             }
-            let v = &mut self.model.vars[var.index()];
-            v.lower = saved.0;
-            v.upper = saved.1;
-            if self.stopped {
+            if self.within_gap() {
                 return Ok(());
             }
+            self.expand(open.node, var, val, relax.objective, my_basis);
         }
         Ok(())
     }
 }
 
-fn solve_legacy(
+/// Runs the search with the given backend and assembles the result.
+fn run_search<B: LpBackend>(
     model: &Model,
     opts: &SolverOptions,
     hint: &[(VarId, f64)],
+    backend: B,
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
-    let int_vars: Vec<VarId> = model
-        .vars()
-        .filter(|(_, v)| v.is_integer())
-        .map(|(id, _)| id)
-        .collect();
-    let mut search = LegacySearch {
-        model: model.clone(),
-        opts,
-        sense_mul: match model.sense {
-            Sense::Minimize => 1.0,
-            Sense::Maximize => -1.0,
-        },
-        start: Instant::now(),
-        best: None,
-        stats: BranchBoundStats::default(),
-        int_vars,
-        stopped: false,
-    };
-    // Warm start: fix the hinted integers, re-solve the continuous part,
-    // and install the result as the first incumbent if feasible.
-    if !hint.is_empty() {
-        let mut fixed = search.model.clone();
-        for &(v, val) in hint {
-            if fixed.var(v).is_integer() {
-                let val = val.round().clamp(fixed.var(v).lower(), fixed.var(v).upper());
-                fixed.fix_var(v, val);
-            }
-        }
-        if let Ok((sol, pivots)) = fixed.solve_relaxation_counted(opts) {
-            search.stats.simplex_iters += pivots;
-            // Only accept if truly integral on all integer vars (hinted
-            // or not).
-            let integral = search.int_vars.iter().all(|&v| {
-                let x = sol.value(v);
-                (x - x.round()).abs() <= opts.int_tol
-            });
-            if integral {
-                search.stats.incumbents += 1;
-                search.best = Some(sol);
-            }
-        }
-    }
-    search.dfs(0)?;
-    finish(search.best, search.stats)
+    let mut core = SearchCore::new(model, opts, backend);
+    core.seed_hint(hint);
+    core.run()?;
+    core.backend.finish(&mut core.stats);
+    finish(core.best, core.stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -803,11 +1100,27 @@ pub fn solve_with_stats_hinted(
             .collect();
         if let Some(int_cols) = int_cols {
             if !form.sf.proven_infeasible && !form.sf.rows.is_empty() {
-                return solve_warm(model, opts, hint, form, int_cols);
+                let kernel = Revised::new(&form, opts);
+                let backend = WarmBackend {
+                    model,
+                    form,
+                    int_cols,
+                    kernel,
+                };
+                return run_search(model, opts, hint, backend);
             }
         }
     }
-    solve_legacy(model, opts, hint)
+    let int_vars: Vec<VarId> = model
+        .vars()
+        .filter(|(_, v)| v.is_integer())
+        .map(|(id, _)| id)
+        .collect();
+    let backend = LegacyBackend {
+        model: model.clone(),
+        int_vars,
+    };
+    run_search(model, opts, hint, backend)
 }
 
 #[cfg(test)]
@@ -907,6 +1220,38 @@ mod tests {
         }
     }
 
+    /// A node-cap-truncated search holding an incumbent must be
+    /// distinguishable from a proven optimum everywhere: solution status,
+    /// the `truncated` stats flag, and the incumbent trace.
+    #[test]
+    fn truncated_search_is_explicitly_feasible_not_optimal() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10).map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0)).collect();
+        let mut obj = LinExpr::new();
+        let mut row = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj += (100.0 + (i % 7) as f64 * 0.01) * v;
+            row += (100.0 + (i % 5) as f64 * 0.013) * v;
+        }
+        m.set_objective(obj);
+        m.add_constraint(row, cmp::LE, 500.37);
+        // A hint guarantees an incumbent exists even at a tiny node cap.
+        let hint: Vec<_> = vars.iter().map(|&v| (v, 0.0)).collect();
+        let truncated_opts = SolverOptions {
+            max_nodes: 2,
+            gap_tol: 0.0,
+            rounding_heuristic: false,
+            ..Default::default()
+        };
+        let (sol, stats) = solve_with_stats_hinted(&m, &truncated_opts, &hint).unwrap();
+        assert_eq!(sol.status, Status::Feasible, "truncated search must not claim Optimal");
+        assert!(stats.truncated, "stats must record the truncation");
+        // The same model run to completion is Optimal and not truncated.
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(!stats.truncated);
+    }
+
     #[test]
     fn stats_reported() {
         let mut m = Model::new(Sense::Maximize);
@@ -921,6 +1266,15 @@ mod tests {
         assert_eq!(stats.cold_solves + stats.warm_solves, stats.nodes);
         // Root LP bound is at least as good as the integer optimum.
         assert!(stats.root_bound >= sol.objective - 1e-9);
+        // New telemetry: every solved node logged a bound, the incumbent
+        // trace ends at the returned objective, and the queue peaked.
+        assert_eq!(stats.node_bounds.len(), stats.nodes);
+        assert!(stats.queue_peak >= 1);
+        assert_eq!(stats.incumbent_trace.len(), stats.incumbents);
+        let (last_node, last_obj) = *stats.incumbent_trace.last().unwrap();
+        assert!(last_node <= stats.nodes);
+        assert!((last_obj - sol.objective).abs() < 1e-9);
+        assert!(stats.first_incumbent_node <= stats.nodes);
     }
 
     #[test]
@@ -1004,6 +1358,48 @@ mod tests {
         );
     }
 
+    /// Both node orderings, on both backends, agree with each other and
+    /// with the oracle kernel on a family needing real search.
+    #[test]
+    fn node_orders_agree_on_both_backends() {
+        let mut m = Model::new(Sense::Maximize);
+        let n = 12;
+        let mut obj = LinExpr::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            obj += ((i % 5 + 2) as f64) * v;
+        }
+        m.set_objective(obj);
+        for r in 0..5 {
+            let mut row = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                row += (((i + r) % 3 + 1) as f64) * v;
+            }
+            m.add_constraint(row, cmp::LE, 17.5 + r as f64);
+        }
+        let mut objectives = Vec::new();
+        for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
+            for kernel in [Kernel::Revised, Kernel::DenseTableau] {
+                let opts = SolverOptions {
+                    node_order: order,
+                    kernel,
+                    ..Default::default()
+                };
+                let (sol, stats) = solve_with_stats(&m, &opts).unwrap();
+                assert!(!stats.truncated, "{order:?}/{kernel:?} truncated");
+                assert_eq!(stats.order, order);
+                objectives.push(((order, kernel), sol.objective));
+            }
+        }
+        let (_, reference) = objectives[0];
+        for &(cfg, obj) in &objectives {
+            assert!(
+                (obj - reference).abs() < 1e-6,
+                "{cfg:?}: {obj} vs reference {reference}"
+            );
+        }
+    }
+
     /// An integer variable with *fractional* bounds must still get an
     /// integral value: the rounding heuristic clamps into the box, which
     /// used to re-fractionalize the incumbent (x = 2.5 reported as an
@@ -1029,15 +1425,21 @@ mod tests {
     }
 
     /// Free integers cannot use bound rows; the legacy path must engage
-    /// and still answer correctly.
+    /// and still answer correctly — under both node orderings.
     #[test]
     fn free_integer_falls_back_to_legacy() {
-        let mut m = Model::new(Sense::Minimize);
-        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, true);
-        m.set_objective(LinExpr::var(x));
-        m.add_constraint(LinExpr::var(x), cmp::GE, -2.5);
-        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
-        assert_eq!(sol.int_value(x), -2);
-        assert_eq!(stats.warm_solves, 0, "legacy path must not warm-start");
+        for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, true);
+            m.set_objective(LinExpr::var(x));
+            m.add_constraint(LinExpr::var(x), cmp::GE, -2.5);
+            let opts = SolverOptions {
+                node_order: order,
+                ..Default::default()
+            };
+            let (sol, stats) = solve_with_stats(&m, &opts).unwrap();
+            assert_eq!(sol.int_value(x), -2);
+            assert_eq!(stats.warm_solves, 0, "legacy path must not warm-start");
+        }
     }
 }

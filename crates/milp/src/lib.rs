@@ -52,6 +52,16 @@
 //! then cold two-phase) and `SolverOptions { warm_start: false, .. }`
 //! forces cold node solves for A/B comparisons.
 //!
+//! The search itself is one generic core with pluggable **node
+//! ordering** ([`SolverOptions::node_order`]): depth-first with the
+//! nearer branching side explored first ([`NodeOrder::DfsNearerFirst`],
+//! the default), or a best-bound priority queue
+//! ([`NodeOrder::BestBound`]) that expands nodes in parent-LP-bound
+//! order with the parent basis handed off across jumps — the remedy for
+//! DFS plateau incumbents under tight node caps. Both orderings run on
+//! either LP backend (warm revised kernel or the rebuild-per-node
+//! legacy/oracle path); see the `branch_bound` module docs.
+//!
 //! The original dense full-tableau two-phase simplex is retained as a
 //! **cross-validation oracle** ([`Kernel::DenseTableau`]): an
 //! independent implementation whose objectives and feasibility verdicts
@@ -91,7 +101,9 @@ mod standard;
 
 pub use branch_bound::{solve_with_stats, solve_with_stats_hinted, BranchBoundStats};
 pub use expr::{LinExpr, VarId};
-pub use model::{cmp, CmpOp, Constraint, FactorKind, Kernel, Model, Sense, SolverOptions, Variable};
+pub use model::{
+    cmp, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, Variable,
+};
 pub use solution::{Solution, SolveError, Status};
 
 #[cfg(test)]

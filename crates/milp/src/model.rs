@@ -143,6 +143,24 @@ pub enum FactorKind {
     Dense,
 }
 
+/// Node selection strategy of the branch & bound search (see the
+/// `branch_bound` module docs for the search-core architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeOrder {
+    /// Depth-first, exploring the nearer branching side first. Cheapest
+    /// bookkeeping and the historical behaviour, but truncated runs can
+    /// plateau on an early incumbent while better ones hide in unvisited
+    /// subtrees.
+    #[default]
+    DfsNearerFirst,
+    /// Best-bound first: a priority queue keyed on the parent LP bound
+    /// (ties dive like DFS), with the parent basis handed off to each
+    /// queued child so warm starts survive the jumps. Finds strong
+    /// incumbents earlier under node caps and prunes the whole frontier
+    /// the moment the best queued bound cannot beat the incumbent.
+    BestBound,
+}
+
 /// Resource limits and tolerances for the solver.
 ///
 /// The defaults match what the reproduction harness needs; the paper used a
@@ -174,6 +192,8 @@ pub struct SolverOptions {
     pub warm_start: bool,
     /// Basis factorization behind the revised kernel (see [`FactorKind`]).
     pub factor: FactorKind,
+    /// Branch & bound node selection strategy (see [`NodeOrder`]).
+    pub node_order: NodeOrder,
     /// Eta-file length that triggers a refactorization; `0` (the
     /// default) resolves to `max(64, 2m)` for a basis of `m` rows.
     pub refactor_eta_len: usize,
@@ -202,6 +222,7 @@ impl Default for SolverOptions {
             kernel: Kernel::Revised,
             warm_start: true,
             factor: FactorKind::Sparse,
+            node_order: NodeOrder::DfsNearerFirst,
             refactor_eta_len: 0,
             refactor_fill_growth: 8.0,
         }

@@ -17,7 +17,7 @@
 use proptest::prelude::*;
 
 use crate::factor::{Eta, Factor, FactorConfig};
-use crate::model::{cmp, FactorKind, Kernel, Model, Sense, SolverOptions};
+use crate::model::{cmp, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions};
 use crate::solution::SolveError;
 use crate::LinExpr;
 
@@ -356,6 +356,91 @@ proptest! {
             sparse.push(Eta { row: r, pivot: d[r], others: others.clone() });
             dense.push(Eta { row: r, pivot: d[r], others });
             check(&sparse, &dense, "eta file");
+        }
+    }
+
+    /// **Search-order oracle**: every `NodeOrder` × `FactorKind`
+    /// combination, run through the full warm-started branch & bound,
+    /// must agree on the verdict and the objective.
+    #[test]
+    fn node_orders_and_factor_kinds_agree(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let mut reference: Option<f64> = None;
+        for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
+            for factor in [FactorKind::Sparse, FactorKind::Dense] {
+                let opts = SolverOptions {
+                    max_nodes: 4_000,
+                    node_order: order,
+                    factor,
+                    ..Default::default()
+                };
+                let (sol, stats) =
+                    crate::solve_with_stats(&m, &opts).expect("planted MILP must be feasible");
+                prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5);
+                // Truncated searches may legitimately hold different
+                // incumbents; only completed runs must agree.
+                if stats.truncated {
+                    continue;
+                }
+                match reference {
+                    None => reference = Some(sol.objective),
+                    Some(r) => prop_assert!(
+                        (sol.objective - r).abs() < 1e-7,
+                        "{order:?}/{factor:?}: {} vs reference {}",
+                        sol.objective,
+                        r
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A completed best-bound run never expands more nodes than the
+    /// proven-optimal DFS run on the same instance, up to branching
+    /// ties: best-bound must additionally expand some nodes whose LP
+    /// bound *equals* the optimum before the proving incumbent appears
+    /// (DFS can dodge those with a luckily early incumbent). Cold node
+    /// solves keep the two trees identical (warm starts may surface
+    /// different vertices of degenerate node LPs, changing the branching
+    /// variable), so the comparison is exact.
+    #[test]
+    fn best_bound_expands_no_more_nodes_than_dfs_plus_ties(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let base = SolverOptions {
+            max_nodes: 20_000,
+            warm_start: false,
+            ..Default::default()
+        };
+        let dfs = crate::solve_with_stats(&m, &base).expect("planted MILP must be feasible");
+        let bb = crate::solve_with_stats(
+            &m,
+            &SolverOptions { node_order: NodeOrder::BestBound, ..base.clone() },
+        )
+        .expect("planted MILP must be feasible");
+        if !dfs.1.truncated && !bb.1.truncated {
+            prop_assert!((dfs.0.objective - bb.0.objective).abs() < 1e-7);
+            let sgn = match m.sense {
+                Sense::Minimize => 1.0,
+                Sense::Maximize => -1.0,
+            };
+            let opt = sgn * bb.0.objective;
+            // Slack nodes: LP bound ties the optimum (or worse), or the
+            // node proved infeasible (bound effectively +∞, recorded as
+            // NaN) — DFS can dodge either with a luckily early
+            // incumbent, best-bound cannot.
+            let ties = bb
+                .1
+                .node_bounds
+                .iter()
+                .filter(|b| b.is_nan() || sgn * **b >= opt - 1e-6)
+                .count();
+            prop_assert!(
+                bb.1.nodes <= dfs.1.nodes + ties,
+                "best-bound expanded {} nodes vs DFS {} + {} ties",
+                bb.1.nodes,
+                dfs.1.nodes,
+                ties
+            );
         }
     }
 

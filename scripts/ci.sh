@@ -24,8 +24,17 @@ cargo test -q --offline
 echo "==> cargo test -p rr-milp proptests (fixed-seed kernel/oracle gate)"
 cargo test -q -p rr-milp --offline proptests
 
+# The node-ordering regression: DFS through the unified search core must
+# reproduce the pre-refactor golden trajectories bit-for-bit, best-bound
+# must escape the 40-edge MAX_THR plateau, and both orderings must prove
+# identical optima on every instance they can complete. Fixed seeds and
+# node caps (no wall clocks), so failures reproduce exactly.
+echo "==> cargo test --test search_orders (fixed-seed node-ordering gate)"
+cargo test -q --offline --test search_orders
+
 # Bench code must at least compile so the perf harness can't silently
-# rot between PRs (running the benches stays a manual/nightly job).
+# rot between PRs (running the benches stays a manual/nightly job); this
+# also covers the ordering A/B arm of milp_scaling (ordering_comparison).
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 

@@ -12,17 +12,9 @@
 //! also actually exploit sparsity: its recorded `nnz(L+U)` stays far
 //! below the dense `m²` storage.
 
+use rr_bench::milp_bench_instance as bench_instance;
 use rr_core::{formulation, CoreOptions};
 use rr_milp::FactorKind;
-use rr_rrg::generate::GeneratorParams;
-use rr_rrg::Rrg;
-
-/// The `milp_scaling` bench instance family (same generator, same seed).
-fn bench_instance(edges: usize) -> Rrg {
-    let nodes = edges / 2;
-    let early = (nodes / 8).max(1);
-    GeneratorParams::paper_defaults(nodes - early, early, edges).generate(42)
-}
 
 fn opts_with(factor: FactorKind, gap_tol: f64) -> CoreOptions {
     let mut opts = CoreOptions::fast();
