@@ -21,9 +21,7 @@ use std::time::Instant;
 
 use rr_bench::bench_log::{append_markov, JsonRecord};
 use rr_elastic::Capacity;
-use rr_markov::{
-    exact_throughput_with, MarkovError, MarkovParams, MarkovResult, StationarySolver,
-};
+use rr_markov::{exact_throughput_with, MarkovError, MarkovParams, MarkovResult, StationarySolver};
 use rr_rrg::{figures, Rrg};
 
 /// The A/B instance ladder: name, graph, capacity. Recurrent-class sizes
@@ -36,11 +34,7 @@ fn instances() -> Vec<(&'static str, Rrg, Capacity)> {
             figures::figure_1b(0.5),
             Capacity::Unbounded,
         ),
-        (
-            "figure_2_a0.9",
-            figures::figure_2(0.9),
-            Capacity::Unbounded,
-        ),
+        ("figure_2_a0.9", figures::figure_2(0.9), Capacity::Unbounded),
         (
             "pipeline_2x2",
             figures::figure_1b_pipeline(&[2, 2], 0.6),

@@ -28,7 +28,7 @@ use std::time::Instant;
 use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::milp_bench_instance as instance;
 use rr_core::{formulation, CoreOptions};
-use rr_milp::{FactorKind, Kernel, NodeOrder};
+use rr_milp::{FactorKind, Kernel, NodeOrder, UpdateKind};
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
 
@@ -102,7 +102,10 @@ fn measure_milp(
         .int("warm_solves", out.stats.warm_solves as u64)
         .int("cold_solves", out.stats.cold_solves as u64)
         .int("refactors", out.stats.refactors as u64)
+        .int("ft_updates", out.stats.ft_updates as u64)
+        .int("forced_refactors", out.stats.forced_refactors as u64)
         .int("lu_nnz", out.stats.peak_lu_nnz as u64)
+        .int("u_nnz", out.stats.peak_u_nnz as u64)
         .int("basis_rows", out.stats.basis_rows as u64)
         .int("truncated", u64::from(out.stats.truncated));
     MilpMeasurement {
@@ -163,10 +166,13 @@ fn measure_order(
     let record = JsonRecord::new("milp_scaling")
         .str("problem", "max_thr_ordering")
         .int("edges", edges as u64)
-        .str("kernel", match factor {
-            FactorKind::Sparse => "revised_warm",
-            FactorKind::Dense => "revised_warm_denselu",
-        })
+        .str(
+            "kernel",
+            match factor {
+                FactorKind::Sparse => "revised_warm",
+                FactorKind::Dense => "revised_warm_denselu",
+            },
+        )
         .str("order", order_label)
         .int("node_cap", max_nodes as u64)
         .num("wall_ms", wall_ms)
@@ -174,7 +180,10 @@ fn measure_order(
         .int("nodes", out.stats.nodes as u64)
         .int("pivots", out.stats.simplex_iters as u64)
         .int("incumbents", out.stats.incumbents as u64)
-        .int("first_incumbent_node", out.stats.first_incumbent_node as u64)
+        .int(
+            "first_incumbent_node",
+            out.stats.first_incumbent_node as u64,
+        )
         .int("queue_peak", out.stats.queue_peak as u64)
         .int("truncated", u64::from(out.stats.truncated));
     (record, out.objective, out.stats.truncated)
@@ -200,8 +209,7 @@ fn ordering_comparison(_c: &mut Criterion) {
             let (rec, bb_obj, bb_trunc) =
                 measure_order(&g, edges, NodeOrder::BestBound, factor, cap);
             records.push(rec);
-            if !dfs_trunc && !bb_trunc && (dfs_obj - bb_obj).abs() > 1e-7 * dfs_obj.abs().max(1.0)
-            {
+            if !dfs_trunc && !bb_trunc && (dfs_obj - bb_obj).abs() > 1e-7 * dfs_obj.abs().max(1.0) {
                 disagreements.push(format!(
                     "max_thr {edges} edges / {factor:?}: completed orderings disagree, \
                      dfs {dfs_obj} vs best_bound {bb_obj}"
@@ -227,6 +235,165 @@ fn ordering_comparison(_c: &mut Criterion) {
     assert!(
         disagreements.is_empty(),
         "node-ordering regression (records already in BENCH_milp.json):\n{}",
+        disagreements.join("\n")
+    );
+}
+
+/// One update-scheme measurement of `MAX_THR` at a fixed node cap (no
+/// wall clock, so the run is deterministic).
+struct UpdateMeasurement {
+    record: JsonRecord,
+    objective: f64,
+    truncated: bool,
+    wall_ms: f64,
+    refactors: usize,
+    forced_refactors: usize,
+    ft_updates: usize,
+    peak_u_nnz: usize,
+}
+
+fn measure_update(
+    g: &Rrg,
+    edges: usize,
+    factor: FactorKind,
+    update: UpdateKind,
+    max_nodes: usize,
+) -> UpdateMeasurement {
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = None;
+    opts.solver.max_nodes = max_nodes;
+    opts.solver.factor = factor;
+    opts.solver.update = update;
+    let t0 = Instant::now();
+    let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let update_label = match update {
+        UpdateKind::ForrestTomlin => "forrest_tomlin",
+        UpdateKind::ProductForm => "product_form",
+    };
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "max_thr_update")
+        .int("edges", edges as u64)
+        .str(
+            "kernel",
+            match factor {
+                FactorKind::Sparse => "revised_warm",
+                FactorKind::Dense => "revised_warm_denselu",
+            },
+        )
+        .str("update", update_label)
+        .int("node_cap", max_nodes as u64)
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("refactors", out.stats.refactors as u64)
+        .int("forced_refactors", out.stats.forced_refactors as u64)
+        .int("ft_updates", out.stats.ft_updates as u64)
+        .int("lu_nnz", out.stats.peak_lu_nnz as u64)
+        .int("u_nnz", out.stats.peak_u_nnz as u64)
+        .int("truncated", u64::from(out.stats.truncated));
+    UpdateMeasurement {
+        record,
+        objective: out.objective,
+        truncated: out.stats.truncated,
+        wall_ms,
+        refactors: out.stats.refactors,
+        forced_refactors: out.stats.forced_refactors,
+        ft_updates: out.stats.ft_updates,
+        peak_u_nnz: out.stats.peak_u_nnz,
+    }
+}
+
+/// The update-scheme A/B: `MAX_THR` on every bench instance under every
+/// `UpdateKind` × `FactorKind` combination at a fixed node cap — the
+/// Forrest–Tomlin perf contract. Completed runs must agree on the
+/// objective (a silently-wrong FT update fails loudly here, with the
+/// evidence already in `BENCH_milp.json`), and on the largest instance
+/// the Forrest–Tomlin path must perform **strictly fewer** full
+/// refactorizations than the product-form path at the identical node
+/// budget; both wall times are recorded per instance.
+fn update_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut disagreements: Vec<String> = Vec::new();
+    let cap = 1000;
+    let mut largest: Option<(usize, UpdateMeasurement, UpdateMeasurement)> = None;
+    for &edges in &[20usize, 40] {
+        let g = instance(edges);
+        let mut completed: Vec<(String, f64)> = Vec::new();
+        let mut sparse_pair: Option<(UpdateMeasurement, UpdateMeasurement)> = None;
+        for factor in [FactorKind::Sparse, FactorKind::Dense] {
+            let ft = measure_update(&g, edges, factor, UpdateKind::ForrestTomlin, cap);
+            let pf = measure_update(&g, edges, factor, UpdateKind::ProductForm, cap);
+            println!(
+                "update comparison: max_thr {edges} edges / {factor:?} @ {cap} nodes: \
+                 forrest_tomlin {:.1} ms obj {}{} ({} refactors, {} forced, {} ft updates, \
+                 peak u_nnz {}) vs product_form {:.1} ms obj {}{} ({} refactors)",
+                ft.wall_ms,
+                ft.objective,
+                if ft.truncated { " (truncated)" } else { "" },
+                ft.refactors,
+                ft.forced_refactors,
+                ft.ft_updates,
+                ft.peak_u_nnz,
+                pf.wall_ms,
+                pf.objective,
+                if pf.truncated { " (truncated)" } else { "" },
+                pf.refactors,
+            );
+            for (label, m) in [("forrest_tomlin", &ft), ("product_form", &pf)] {
+                records.push(m.record.clone());
+                if !m.truncated {
+                    completed.push((format!("{factor:?}/{label}"), m.objective));
+                }
+            }
+            if factor == FactorKind::Sparse {
+                sparse_pair = Some((ft, pf));
+            }
+        }
+        // All completed UpdateKind × FactorKind combinations must agree.
+        if let Some((ref_name, ref_obj)) = completed.first().cloned() {
+            for (name, obj) in &completed[1..] {
+                if (obj - ref_obj).abs() > 1e-7 * ref_obj.abs().max(1.0) {
+                    disagreements.push(format!(
+                        "max_thr {edges} edges: completed combinations disagree, \
+                         {ref_name} {ref_obj} vs {name} {obj}"
+                    ));
+                }
+            }
+        }
+        // Keep the genuinely largest instance regardless of list order.
+        if largest.as_ref().is_none_or(|&(e, _, _)| edges > e) {
+            largest = sparse_pair.map(|(ft, pf)| (edges, ft, pf));
+        }
+    }
+    if let Some((edges, ft, pf)) = largest {
+        records.push(
+            JsonRecord::new("milp_ft_summary")
+                .int("largest_edges", edges as u64)
+                .int("node_cap", cap as u64)
+                .num("ft_wall_ms", ft.wall_ms)
+                .num("pf_wall_ms", pf.wall_ms)
+                .int("ft_refactors", ft.refactors as u64)
+                .int("pf_refactors", pf.refactors as u64)
+                .int("ft_forced_refactors", ft.forced_refactors as u64)
+                .int("ft_updates", ft.ft_updates as u64)
+                .int("ft_peak_u_nnz", ft.peak_u_nnz as u64),
+        );
+        // The FT perf contract on the largest instance: strictly fewer
+        // full refactorizations at the identical node budget.
+        if ft.refactors >= pf.refactors {
+            disagreements.push(format!(
+                "max_thr {edges} edges: forrest_tomlin performed {} refactors, \
+                 product_form only {} — the update scheme is not saving refactorizations",
+                ft.refactors, pf.refactors
+            ));
+        }
+    }
+    append(&records);
+    assert!(
+        disagreements.is_empty(),
+        "update-scheme regression (records already in BENCH_milp.json):\n{}",
         disagreements.join("\n")
     );
 }
@@ -266,8 +433,7 @@ fn kernel_comparison(_c: &mut Criterion) {
         for pair in [&denselu, &cold, &oracle] {
             if !warm.truncated
                 && !pair.truncated
-                && (warm.objective - pair.objective).abs()
-                    > 1e-7 * warm.objective.abs().max(1.0)
+                && (warm.objective - pair.objective).abs() > 1e-7 * warm.objective.abs().max(1.0)
             {
                 milp_disagreements.push(format!(
                     "max_thr {edges} edges: revised_warm {} vs {} {}",
@@ -318,8 +484,10 @@ fn kernel_comparison(_c: &mut Criterion) {
     }
     append(&records);
     // Loud failure *after* the evidence is logged.
-    let disagreements: Vec<String> =
-        lp_disagreements.into_iter().chain(milp_disagreements).collect();
+    let disagreements: Vec<String> = lp_disagreements
+        .into_iter()
+        .chain(milp_disagreements)
+        .collect();
     assert!(
         disagreements.is_empty(),
         "kernel/oracle disagreement (records already in BENCH_milp.json):\n{}",
@@ -330,6 +498,7 @@ fn kernel_comparison(_c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison
+    targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison,
+        update_comparison
 }
 criterion_main!(benches);

@@ -86,20 +86,24 @@ impl HarnessArgs {
             match a.as_str() {
                 "--seed" => out.seed = take("--seed").parse().expect("seed must be an integer"),
                 "--max-edges" => {
-                    out.max_edges =
-                        Some(take("--max-edges").parse().expect("max-edges must be an integer"))
+                    out.max_edges = Some(
+                        take("--max-edges")
+                            .parse()
+                            .expect("max-edges must be an integer"),
+                    )
                 }
                 "--full-size" => out.max_edges = None,
                 "--time-limit" => {
-                    out.time_limit_secs =
-                        take("--time-limit").parse().expect("time-limit must be seconds")
+                    out.time_limit_secs = take("--time-limit")
+                        .parse()
+                        .expect("time-limit must be seconds")
                 }
                 "--horizon" => {
-                    out.horizon = take("--horizon").parse().expect("horizon must be an integer")
+                    out.horizon = take("--horizon")
+                        .parse()
+                        .expect("horizon must be an integer")
                 }
-                "--only" => {
-                    out.only = take("--only").split(',').map(str::to_string).collect()
-                }
+                "--only" => out.only = take("--only").split(',').map(str::to_string).collect(),
                 "--verbose" => out.verbose = true,
                 "--help" | "-h" => {
                     eprintln!(
@@ -191,7 +195,14 @@ mod tests {
         let a = args(&[]);
         assert_eq!(a.seed, 2009);
         assert_eq!(a.max_edges, Some(150));
-        let b = args(&["--seed", "7", "--full-size", "--only", "s27,s526", "--verbose"]);
+        let b = args(&[
+            "--seed",
+            "7",
+            "--full-size",
+            "--only",
+            "s27,s526",
+            "--verbose",
+        ]);
         assert_eq!(b.seed, 7);
         assert_eq!(b.max_edges, None);
         assert!(b.selected("s27") && b.selected("s526") && !b.selected("s208"));

@@ -41,15 +41,21 @@ impl MinEffCycOutcome {
     /// Index of `RC_lp_min` — the configuration the LP-guided heuristic
     /// selects (minimal ξ_lp).
     pub fn best_lp_index(&self) -> Option<usize> {
-        (0..self.evaluations.len())
-            .min_by(|&a, &b| self.evaluations[a].xi_lp.total_cmp(&self.evaluations[b].xi_lp))
+        (0..self.evaluations.len()).min_by(|&a, &b| {
+            self.evaluations[a]
+                .xi_lp
+                .total_cmp(&self.evaluations[b].xi_lp)
+        })
     }
 
     /// Index of `RC_min` — the truly best configuration per simulation
     /// (minimal ξ).
     pub fn best_sim_index(&self) -> Option<usize> {
-        (0..self.evaluations.len())
-            .min_by(|&a, &b| self.evaluations[a].xi_sim.total_cmp(&self.evaluations[b].xi_sim))
+        (0..self.evaluations.len()).min_by(|&a, &b| {
+            self.evaluations[a]
+                .xi_sim
+                .total_cmp(&self.evaluations[b].xi_sim)
+        })
     }
 
     /// The LP-selected configuration.
@@ -73,8 +79,15 @@ impl MinEffCycOutcome {
     /// The `k` best evaluations by ξ_lp (the paper's "k other best RC").
     pub fn top_k(&self, k: usize) -> Vec<&RcEvaluation> {
         let mut idx: Vec<usize> = (0..self.evaluations.len()).collect();
-        idx.sort_by(|&a, &b| self.evaluations[a].xi_lp.total_cmp(&self.evaluations[b].xi_lp));
-        idx.into_iter().take(k).map(|i| &self.evaluations[i]).collect()
+        idx.sort_by(|&a, &b| {
+            self.evaluations[a]
+                .xi_lp
+                .total_cmp(&self.evaluations[b].xi_lp)
+        });
+        idx.into_iter()
+            .take(k)
+            .map(|i| &self.evaluations[i])
+            .collect()
     }
 }
 

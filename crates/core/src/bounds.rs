@@ -35,11 +35,7 @@ pub struct VarBounds {
 pub fn bounds_of(g: &Rrg) -> VarBounds {
     let positive_tokens = g.total_positive_tokens();
     let max_buffers = positive_tokens + 2;
-    let max_abs_tokens = g
-        .edges()
-        .map(|(_, e)| e.tokens().abs())
-        .max()
-        .unwrap_or(0);
+    let max_abs_tokens = g.edges().map(|(_, e)| e.tokens().abs()).max().unwrap_or(0);
     let n = g.num_nodes() as i64;
     let max_retiming = n * (max_buffers + max_abs_tokens + 1);
     let max_x = (g.num_edges() as f64) * (max_buffers as f64) + 2.0;

@@ -39,7 +39,11 @@ pub struct RcEvaluation {
 /// [`OptError::Evaluation`] when the configuration cannot be evaluated
 /// (combinational cycle, simulator failure) and [`OptError::Solver`] when
 /// the LP bound fails.
-pub fn evaluate_config(g: &Rrg, config: &Config, opts: &CoreOptions) -> Result<RcEvaluation, OptError> {
+pub fn evaluate_config(
+    g: &Rrg,
+    config: &Config,
+    opts: &CoreOptions,
+) -> Result<RcEvaluation, OptError> {
     let tau = cycle_time::cycle_time_with(g, &config.buffers)
         .map_err(|e| OptError::Evaluation(e.to_string()))?;
     let skeleton = TgmgSkeleton::of(g);

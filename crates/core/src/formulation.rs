@@ -123,12 +123,7 @@ struct Built {
 /// `fix_buffers` freezes `R'` to a given assignment (used for the
 /// fixed-configuration cross-check against the direct LP bound; the
 /// retiming link is dropped since tokens influence nothing else).
-fn build(
-    g: &Rrg,
-    tau_mode: Mode,
-    x_mode: Mode,
-    fix_buffers: Option<&[i64]>,
-) -> Built {
+fn build(g: &Rrg, tau_mode: Mode, x_mode: Mode, fix_buffers: Option<&[i64]>) -> Built {
     let bounds = bounds_of(g);
     let skeleton = TgmgSkeleton::of(g);
     let mut m = Model::new(Sense::Minimize);
@@ -206,8 +201,7 @@ fn build(
         let u = e.source().index();
         let v = e.target().index();
         // arr(v) ≥ arr(u) + β(u) − τ*·R'(e)
-        let expr = LinExpr::var(arr[v]) - arr[u]
-            + LinExpr::term(buf[id.index()], bounds.tau_star);
+        let expr = LinExpr::var(arr[v]) - arr[u] + LinExpr::term(buf[id.index()], bounds.tau_star);
         m.add_constraint(expr, cmp::GE, g.node(e.source()).delay());
     }
     // departure(u) = arr(u) + β(u) ≤ τ for every node.
@@ -303,7 +297,11 @@ fn warm_start(g: &Rrg, built: &Built, repair: Repair, opts: &CoreOptions) -> Vec
     // (the input graph's own configuration is always legal).
     let relax = built.model.solve_relaxation(&opts.solver).ok();
     let r: Vec<i64> = match &relax {
-        Some(sol) => built.r.iter().map(|&v| sol.value(v).round() as i64).collect(),
+        Some(sol) => built
+            .r
+            .iter()
+            .map(|&v| sol.value(v).round() as i64)
+            .collect(),
         None => vec![0; built.r.len()],
     };
     let tokens = retime_tokens(g, &r);
@@ -468,7 +466,9 @@ mod tests {
     #[ignore = "diagnostic probe"]
     fn probe_root_lp() {
         for name in ["s382", "s526", "s386"] {
-            let g = rr_rrg::iscas::IscasProfile::by_name(name).unwrap().generate(1);
+            let g = rr_rrg::iscas::IscasProfile::by_name(name)
+                .unwrap()
+                .generate(1);
             let built = build(&g, Mode::Variable, Mode::Const(1.25), None);
             let mut o = rr_milp::SolverOptions::default();
             o.max_pivots = 2_000_000;
@@ -511,11 +511,7 @@ mod tests {
         let g = figures::figure_1a(0.5);
         let out = min_cyc(&g, 1.0, &CoreOptions::fast()).unwrap();
         let ls = rr_retime::min_period_retiming(&g).unwrap();
-        let tau = cycle_time::cycle_time_with(
-            &g,
-            &out.config.buffers,
-        )
-        .unwrap();
+        let tau = cycle_time::cycle_time_with(&g, &out.config.buffers).unwrap();
         assert_eq!(tau, ls.period, "MIN_CYC(1) must equal min-delay retiming");
     }
 

@@ -44,7 +44,15 @@ impl fmt::Display for Table1 {
             writeln!(
                 f,
                 "{:<10} {:>9.2} {:>8.4} {:>8.4} {:>8.4} {:>10.4} {:>10.4}{}{}",
-                name, ev.tau, ev.theta_lp, ev.theta_sim, ev.err_pct, ev.xi_lp, ev.xi_sim, mark, limit
+                name,
+                ev.tau,
+                ev.theta_lp,
+                ev.theta_sim,
+                ev.err_pct,
+                ev.xi_lp,
+                ev.xi_sim,
+                mark,
+                limit
             )?;
         }
         if let Some(delta) = self.outcome.delta_pct() {

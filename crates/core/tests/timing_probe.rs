@@ -12,11 +12,13 @@ fn probe() {
         let mut opts = CoreOptions::default();
         opts.solver.time_limit = Some(std::time::Duration::from_secs(20));
         match report::evaluate_benchmark(name, &g, &opts) {
-            Ok((row, t1)) => println!(
+            Ok((row, t1)) => {
+                println!(
                 "{name}: {:?} | rows={} xi*={:.1} nee={:.1} lp={:.1} sim={:.1} I%={:.1} proven={}",
                 t0.elapsed(), t1.outcome.evaluations.len(), row.xi_star, row.xi_nee,
                 row.xi_lp_min, row.xi_sim_min, row.improvement_pct, row.proven_optimal
-            ),
+            )
+            }
             Err(e) => println!("{name}: ERROR {e} after {:?}", t0.elapsed()),
         }
     }

@@ -239,7 +239,10 @@ impl Machine {
             .collect();
         let mut telescopic = vec![None; n];
         for spec in specs {
-            assert!(spec.node.index() < n, "telescopic spec names a missing node");
+            assert!(
+                spec.node.index() < n,
+                "telescopic spec names a missing node"
+            );
             assert!(
                 spec.fast_prob > 0.0 && spec.fast_prob <= 1.0,
                 "fast_prob must lie in (0, 1]"
@@ -378,8 +381,11 @@ impl Machine {
         if let Some(rng) = &mut self.tele_rng {
             for v in 0..self.telescopic.len() {
                 if let Some((fast_prob, slow_extra)) = self.telescopic[v] {
-                    self.pending_extra[v] =
-                        if rng.next_f64() < fast_prob { 0 } else { slow_extra };
+                    self.pending_extra[v] = if rng.next_f64() < fast_prob {
+                        0
+                    } else {
+                        slow_extra
+                    };
                 }
             }
         }
@@ -549,8 +555,7 @@ impl Machine {
                 return false;
             }
             let src = self.graph.edge(e).source().index();
-            ch.offers(self.now)
-                || (ch.latency == 0 && fire[src] && self.pending_extra[src] == 0)
+            ch.offers(self.now) || (ch.latency == 0 && fire[src] && self.pending_extra[src] == 0)
         };
         match self.graph.node(v).kind() {
             NodeKind::Simple => {
@@ -672,8 +677,7 @@ mod tests {
                 fast_prob: p,
                 slow_extra: extra,
             };
-            let mut m =
-                Machine::with_telescopic(&g, Capacity::Unbounded, &[spec], 99).unwrap();
+            let mut m = Machine::with_telescopic(&g, Capacity::Unbounded, &[spec], 99).unwrap();
             let cycles = 40_000;
             for _ in 0..cycles {
                 m.step_with(|_| unreachable!("no early nodes"));
@@ -696,8 +700,7 @@ mod tests {
             slow_extra: 4,
         };
         let mut plain = Machine::new(&g, Capacity::Unbounded).unwrap();
-        let mut tele =
-            Machine::with_telescopic(&g, Capacity::Unbounded, &[spec], 5).unwrap();
+        let mut tele = Machine::with_telescopic(&g, Capacity::Unbounded, &[spec], 5).unwrap();
         for _ in 0..300 {
             plain.step_with(|_| figures::edge::TOP);
             tele.step_with(|_| figures::edge::TOP);

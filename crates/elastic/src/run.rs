@@ -97,8 +97,7 @@ pub fn simulate(g: &Rrg, params: &MachineParams) -> Result<RunResult, MachineErr
             warm_counts = Some((machine.now(), machine.fired_total().to_vec()));
         }
     }
-    let (warm_at, warm) =
-        warm_counts.unwrap_or_else(|| (0, vec![0; machine.fired_total().len()]));
+    let (warm_at, warm) = warm_counts.unwrap_or_else(|| (0, vec![0; machine.fired_total().len()]));
     let window = (machine.now() - warm_at) as f64;
     let throughput = (machine.fired_total()[0] - warm[0]) as f64 / window;
     Ok(RunResult {
@@ -175,7 +174,10 @@ mod tests {
     fn occupancy_tracking_reports_positive_values() {
         let r = simulate(&figures::figure_1b(0.9), &MachineParams::default()).unwrap();
         assert!(r.max_occupancy.iter().any(|&o| o > 0));
-        assert!(r.max_anti.iter().any(|&a| a > 0), "α=0.9 should issue anti-tokens");
+        assert!(
+            r.max_anti.iter().any(|&a| a > 0),
+            "α=0.9 should issue anti-tokens"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn minimal_uniform_capacity(
     max_k: u32,
     params: &MachineParams,
 ) -> Option<SizingResult> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let unbounded = simulate(
         g,
         &MachineParams {
@@ -79,7 +82,11 @@ mod tests {
         // A bubble-free ring at Θ = 1 works with real 2-slot EBs.
         let g = figures::figure_1a(0.5);
         let r = minimal_uniform_capacity(&g, 0.98, 4, &MachineParams::fast(1)).unwrap();
-        assert!(r.capacity_per_buffer <= 2, "needed k = {}", r.capacity_per_buffer);
+        assert!(
+            r.capacity_per_buffer <= 2,
+            "needed k = {}",
+            r.capacity_per_buffer
+        );
         assert!((r.unbounded_throughput - 1.0).abs() < 0.05);
     }
 

@@ -92,6 +92,17 @@ pub struct BranchBoundStats {
     /// Basis refactorizations across the whole search (warm path only;
     /// the legacy per-node-rebuild path reports 0).
     pub refactors: usize,
+    /// Successful Forrest–Tomlin factor updates (0 under
+    /// [`crate::UpdateKind::ProductForm`]; warm path only).
+    pub ft_updates: usize,
+    /// Refactorizations forced by a refused (unstable) Forrest–Tomlin
+    /// update rather than the scheduled length/fill policy (warm path
+    /// only).
+    pub forced_refactors: usize,
+    /// Largest nonzero count the (updated) `U` factor reached — the fill
+    /// price of absorbing pivots into the factors under Forrest–Tomlin;
+    /// `m²` under [`crate::FactorKind::Dense`] (warm path only).
+    pub peak_u_nnz: usize,
     /// Largest `nnz(L+U)` any basis snapshot reached — `m²` under
     /// [`crate::FactorKind::Dense`], the actual fill under
     /// [`crate::FactorKind::Sparse`] (warm path only).
@@ -380,7 +391,10 @@ impl LpBackend for WarmBackend<'_> {
     fn finish(&self, stats: &mut BranchBoundStats) {
         stats.simplex_iters = self.kernel.iters;
         stats.refactors = self.kernel.factor_stats.refactors;
+        stats.ft_updates = self.kernel.factor_stats.ft_updates;
+        stats.forced_refactors = self.kernel.factor_stats.forced_refactors;
         stats.peak_lu_nnz = self.kernel.factor_stats.peak_lu_nnz;
+        stats.peak_u_nnz = self.kernel.factor_stats.peak_u_nnz;
         stats.basis_rows = self.kernel.dims().0;
     }
 }
@@ -814,7 +828,14 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
     /// resolve — the nearer side first). Under best-bound the nearer
     /// existing child goes to the plunge slot instead of the queue.
     /// Children whose box would be empty are never queued.
-    fn expand(&mut self, t: usize, var: VarId, val: f64, bound: f64, basis: Option<Rc<BasisState>>) {
+    fn expand(
+        &mut self,
+        t: usize,
+        var: VarId,
+        val: f64,
+        bound: f64,
+        basis: Option<Rc<BasisState>>,
+    ) {
         let vi = var.index();
         let depth = self.arena[t].depth + 1;
         let floor = val.floor();
@@ -907,9 +928,10 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                     // A dive node that cannot beat the incumbent is
                     // discarded unsolved; the episode continues with its
                     // pending siblings.
-                    let prunable = self.best.as_ref().is_some_and(|best| {
-                        p.key >= self.signed(best.objective) - 1e-9
-                    });
+                    let prunable = self
+                        .best
+                        .as_ref()
+                        .is_some_and(|best| p.key >= self.signed(best.objective) - 1e-9);
                     if prunable {
                         continue;
                     }
@@ -940,29 +962,30 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
             self.activate(open.node);
             self.stats.nodes += 1;
             self.episode += 1;
-            let relax = match self
-                .backend
-                .solve_node(self.opts, open.basis.as_deref(), &mut self.stats)
-            {
-                Ok(sol) => sol,
-                Err(SolveError::Infeasible) => {
-                    self.stats.node_bounds.push(f64::NAN);
-                    continue;
-                }
-                Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
-                    // No usable bound for this subtree (budget or
-                    // numerics): prune it and keep whatever incumbent
-                    // exists — aborting would discard a feasible answer
-                    // over one bad node.
-                    self.stats.node_bounds.push(f64::NAN);
-                    self.stats.truncated = true;
-                    continue;
-                }
-                // Bound tightenings cannot make a bounded LP unbounded,
-                // but a free-integer model may genuinely be unbounded at
-                // the root.
-                Err(e) => return Err(e),
-            };
+            let relax =
+                match self
+                    .backend
+                    .solve_node(self.opts, open.basis.as_deref(), &mut self.stats)
+                {
+                    Ok(sol) => sol,
+                    Err(SolveError::Infeasible) => {
+                        self.stats.node_bounds.push(f64::NAN);
+                        continue;
+                    }
+                    Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
+                        // No usable bound for this subtree (budget or
+                        // numerics): prune it and keep whatever incumbent
+                        // exists — aborting would discard a feasible answer
+                        // over one bad node.
+                        self.stats.node_bounds.push(f64::NAN);
+                        self.stats.truncated = true;
+                        continue;
+                    }
+                    // Bound tightenings cannot make a bounded LP unbounded,
+                    // but a free-integer model may genuinely be unbounded at
+                    // the root.
+                    Err(e) => return Err(e),
+                };
             self.stats.node_bounds.push(relax.objective);
             let depth = self.arena[open.node].depth;
             if depth == 0 {
@@ -1201,7 +1224,9 @@ mod tests {
         // A model where optimality needs some search; a 1-node budget must
         // either produce an incumbent (Feasible) or IterationLimit.
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0))
+            .collect();
         let mut obj = LinExpr::new();
         let mut row = LinExpr::new();
         for (i, &v) in vars.iter().enumerate() {
@@ -1226,7 +1251,9 @@ mod tests {
     #[test]
     fn truncated_search_is_explicitly_feasible_not_optimal() {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..10).map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0)).collect();
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_integer(format!("x{i}"), 0.0, 1.0))
+            .collect();
         let mut obj = LinExpr::new();
         let mut row = LinExpr::new();
         for (i, &v) in vars.iter().enumerate() {
@@ -1244,7 +1271,11 @@ mod tests {
             ..Default::default()
         };
         let (sol, stats) = solve_with_stats_hinted(&m, &truncated_opts, &hint).unwrap();
-        assert_eq!(sol.status, Status::Feasible, "truncated search must not claim Optimal");
+        assert_eq!(
+            sol.status,
+            Status::Feasible,
+            "truncated search must not claim Optimal"
+        );
         assert!(stats.truncated, "stats must record the truncation");
         // The same model run to completion is Optimal and not truncated.
         let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
@@ -1321,7 +1352,9 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let n = 12;
         let mut obj = LinExpr::new();
-        let vars: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0))
+            .collect();
         for (i, &v) in vars.iter().enumerate() {
             obj += ((i % 5 + 2) as f64) * v;
         }
@@ -1365,7 +1398,9 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let n = 12;
         let mut obj = LinExpr::new();
-        let vars: Vec<_> = (0..n).map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0)).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_integer(format!("x{i}"), 0.0, 3.0))
+            .collect();
         for (i, &v) in vars.iter().enumerate() {
             obj += ((i % 5 + 2) as f64) * v;
         }

@@ -1,15 +1,47 @@
 //! Basis factorization for the revised simplex kernel.
 //!
 //! The basis matrix `B` is held as an **LU factorization of a snapshot
-//! basis `B₀`**, composed with a **product-form eta file**: after `k`
-//! pivots, `B = B₀·E₁·…·E_k` where each `Eᵢ` is an identity matrix with
-//! one column replaced by the pivot direction `d = B⁻¹A_j`. FTRAN/BTRAN
-//! apply the LU triangles and then the eta transformations; when the file
-//! grows past [`Factor::needs_refactor`] the current basis is
-//! refactorized from scratch, which both caps the per-solve cost and
-//! flushes accumulated round-off. The refactor policy is configurable
-//! ([`FactorConfig`]): the file is flushed when it is *long* (eta count)
-//! or *heavy* (accumulated eta fill relative to the LU's own nonzeros).
+//! basis `B₀`**, kept current across pivots by one of two update schemes
+//! ([`UpdateKind`](crate::UpdateKind)):
+//!
+//! * **Forrest–Tomlin** (the production default, sparse snapshot only) —
+//!   the factors themselves are updated in place, so FTRAN/BTRAN keep
+//!   their zero-skipping triangular solves against a *current* `U`. On
+//!   the basis change "slot `p` leaves, column `a` enters":
+//!   1. **Spike**: the entering column is run through `L` (and every row
+//!      eta accumulated so far) to give `w = L̃⁻¹·P·a`, which replaces
+//!      column `p` of `U`. Entries of `w` other than `w[p]` land above
+//!      the diagonal once step 3 runs, so none of them need elimination.
+//!   2. **Row eta**: row `p` of `U` (its entries right of the diagonal
+//!      in pivot order) is eliminated against the *trailing* rows of `U`
+//!      — one multiplier `μ_j = u_pj / u_jj` per nonzero, processed in
+//!      pivot order so fill generated into row `p` is itself eliminated.
+//!      The multipliers form a single row transformation `M` (stored; it
+//!      becomes part of `L̃ = L·M₁⁻¹·…·M_k⁻¹`), and the new diagonal
+//!      `u_pp' = w[p] − Σ μ_j·w[j]` absorbs the spike.
+//!   3. **Permute to the end**: position `p` moves to the last place in
+//!      the **pivot order** (a permutation layer over the stored factored
+//!      indices — no data moves), restoring triangularity.
+//!
+//!   A near-zero new diagonal (relative to the spike's scale) or an
+//!   exploding multiplier aborts the update *before any state mutates*
+//!   and the caller falls back to a full refactorization (**forced
+//!   refactor**) — the standard FT stability policy.
+//! * **Product-form eta file** (the historical scheme, and the only one
+//!   the dense oracle supports) — after `k` pivots,
+//!   `B = B₀·E₁·…·E_k` where each `Eᵢ` is an identity matrix with one
+//!   column replaced by the pivot direction `d = B⁻¹A_j`; FTRAN/BTRAN
+//!   apply the LU triangles and then replay the whole file.
+//!
+//! Under either scheme, when the update state grows past
+//! [`Factor::needs_refactor`] the current basis is refactorized from
+//! scratch, which both caps the per-solve cost and flushes accumulated
+//! round-off. The refactor policy is configurable ([`FactorConfig`]):
+//! refactorize when the update count is *long* ([`FactorConfig::max_etas`]
+//! pivots absorbed) or the accumulated update fill is *heavy* relative to
+//! the snapshot LU's own nonzeros ([`FactorConfig::fill_growth`] — eta
+//! fill under the product form; `U` growth plus row-eta fill under
+//! Forrest–Tomlin).
 //!
 //! Two snapshot factorizations implement the same contract, selected by
 //! [`FactorKind`](crate::FactorKind):
@@ -46,7 +78,7 @@
 //! rank-deficient one (duplicate columns cancelling to round-off) is
 //! still rejected.
 
-use crate::model::FactorKind;
+use crate::model::{FactorKind, UpdateKind};
 
 /// Relative singularity threshold: a pivot candidate must exceed this
 /// fraction of its column's input scale to count as nonzero.
@@ -61,26 +93,51 @@ const PIVOT_THRESHOLD: f64 = 0.1;
 /// columns (in increasing nonzero-count order) are examined.
 const MARKOWITZ_SEARCH_COLS: usize = 8;
 
+/// Forrest–Tomlin stability: the updated diagonal must exceed this
+/// fraction of the spike's largest magnitude, or the update is refused
+/// and the caller refactorizes (the new basis may be fine — the *update*
+/// is what would be unstable).
+const FT_DIAG_REL: f64 = 1e-9;
+
+/// Forrest–Tomlin stability: a row-eta multiplier above this magnitude
+/// signals an ill-scaled elimination; the update is refused.
+const FT_MULT_MAX: f64 = 1e8;
+
+/// Relative drop tolerance for spike entries and row-eta fill (matches
+/// the cancellation drop the Markowitz factorization applies).
+const FT_DROP_REL: f64 = 1e-14;
+
 /// Resolved refactorization policy plus snapshot kind, derived from
 /// [`SolverOptions`](crate::SolverOptions) by the kernel.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FactorConfig {
-    /// Which snapshot factorization backs the eta file.
+    /// Which snapshot factorization backs the update scheme.
     pub kind: FactorKind,
-    /// Eta-file length that triggers a refactor; `0` = automatic
-    /// (`max(64, 2m)`, see [`Factor::needs_refactor`]).
+    /// **Effective** update scheme: Forrest–Tomlin is only available on
+    /// the sparse snapshot, so `resolve` degrades `ForrestTomlin` to
+    /// `ProductForm` under [`FactorKind::Dense`].
+    pub update: UpdateKind,
+    /// Update count (etas or FT updates) that triggers a refactor; `0` =
+    /// automatic (`max(64, 2m)`, see [`Factor::needs_refactor`]).
     pub max_etas: usize,
-    /// Refactor when the accumulated eta fill exceeds this multiple of
-    /// the LU's own nonzero count; non-finite or `<= 0` disables the
-    /// fill trigger.
+    /// Refactor when the accumulated update fill exceeds this multiple
+    /// of the snapshot LU's nonzero count; non-finite or `<= 0` disables
+    /// the fill trigger.
     pub fill_growth: f64,
 }
 
 impl FactorConfig {
-    /// Pulls the factorization-relevant knobs out of solver options.
+    /// Pulls the factorization-relevant knobs out of solver options,
+    /// resolving the effective update scheme for the chosen snapshot.
     pub fn resolve(opts: &crate::model::SolverOptions) -> FactorConfig {
+        let update = match (opts.factor, opts.update) {
+            (FactorKind::Sparse, u) => u,
+            // The dense oracle has no row/column-wise U to update.
+            (FactorKind::Dense, _) => UpdateKind::ProductForm,
+        };
         FactorConfig {
             kind: opts.factor,
+            update,
             max_etas: opts.refactor_eta_len,
             fill_growth: opts.refactor_fill_growth,
         }
@@ -258,26 +315,55 @@ impl DenseLu {
 // Sparse LU with Markowitz ordering and threshold partial pivoting
 // ---------------------------------------------------------------------------
 
+/// One Forrest–Tomlin row transformation: after the `L` solve, row
+/// `row`'s value is reduced by `Σ μ_j·x[j]` over `terms = (j, μ_j)` —
+/// the elimination that restored `U`'s triangularity when `row`'s pivot
+/// was permuted to the end.
+struct RowEta {
+    row: usize,
+    terms: Vec<(usize, f64)>,
+}
+
 /// Sparse LU factorization `P·B·Q = L·U` (row *and* column permutations,
 /// chosen per elimination step by the Markowitz rule). `L` is unit lower
 /// triangular, `U` upper triangular; both are stored twice — by column
 /// for FTRAN and by row for BTRAN — in *factored* coordinates.
+///
+/// Forrest–Tomlin updates ([`SparseLu::ft_update`]) mutate `U` in place
+/// and accumulate [`RowEta`] transformations on the `L` side;
+/// triangularity is then relative to the **pivot order** `porder` (a
+/// permutation of the factored indices), which starts as the identity
+/// and cycles one position to the end per update. `L` itself, the row
+/// permutation `P` and the column permutation `Q` never change between
+/// refactorizations.
 pub(crate) struct SparseLu {
     m: usize,
     /// Column `k` of `L`: entries `(i, L[i][k])` with `i > k`.
     l_cols: Vec<Vec<(usize, f64)>>,
     /// Row `k` of `L`: entries `(j, L[k][j])` with `j < k`.
     l_rows: Vec<Vec<(usize, f64)>>,
-    /// Column `k` of `U` above the diagonal: entries `(i, U[i][k])`, `i < k`.
+    /// Column `k` of `U` above the diagonal in pivot order: entries
+    /// `(i, U[i][k])` with `ppos[i] < ppos[k]` (unsorted within a column).
     u_cols: Vec<Vec<(usize, f64)>>,
-    /// Row `k` of `U` past the diagonal: entries `(j, U[k][j])`, `j > k`.
+    /// Row `k` of `U` past the diagonal in pivot order: entries
+    /// `(j, U[k][j])` with `ppos[j] > ppos[k]` (unsorted within a row).
     u_rows: Vec<Vec<(usize, f64)>>,
     /// `U[k][k]` (pivot magnitudes are threshold-checked at selection).
     u_diag: Vec<f64>,
     /// `row_of[i]` = original row held at factored row `i` (`P`).
     row_of: Vec<usize>,
+    /// `rowpos[r]` = factored row holding original row `r` (`P⁻¹`).
+    rowpos: Vec<usize>,
     /// `col_of[k]` = original basis slot held at factored column `k` (`Q`).
     col_of: Vec<usize>,
+    /// `colpos[s]` = factored column holding basis slot `s` (`Q⁻¹`).
+    colpos: Vec<usize>,
+    /// Pivot order: `porder[t]` = factored index eliminated at step `t`.
+    porder: Vec<usize>,
+    /// Inverse of `porder`.
+    ppos: Vec<usize>,
+    /// Forrest–Tomlin row transformations, in application order.
+    row_etas: Vec<RowEta>,
 }
 
 impl SparseLu {
@@ -367,8 +453,7 @@ impl SparseLu {
                     }
                     let cost = (rows[r].len() - 1) * (col_count[j] - 1);
                     let better = cost < best_cost
-                        || (cost == best_cost
-                            && best.is_some_and(|(_, _, bv)| v.abs() > bv.abs()));
+                        || (cost == best_cost && best.is_some_and(|(_, _, bv)| v.abs() > bv.abs()));
                     if better {
                         best_cost = cost;
                         best = Some((r, j, v));
@@ -391,11 +476,8 @@ impl SparseLu {
             u_diag.push(diag);
             // Leaving the active submatrix: every entry of the pivot row
             // drops out of its column's count.
-            let pivot_row: Vec<(usize, f64)> = rows[pr]
-                .iter()
-                .copied()
-                .filter(|&(c, _)| c != pj)
-                .collect();
+            let pivot_row: Vec<(usize, f64)> =
+                rows[pr].iter().copied().filter(|&(c, _)| c != pj).collect();
             for &(c, _) in &pivot_row {
                 col_count[c] -= 1;
             }
@@ -509,19 +591,20 @@ impl SparseLu {
             u_rows,
             u_diag,
             row_of,
+            rowpos,
             col_of,
+            colpos,
+            porder: (0..m).collect(),
+            ppos: (0..m).collect(),
+            row_etas: Vec::new(),
         })
     }
 
-    /// Solves `B·x = rhs` in place; column-oriented with zero skipping.
-    pub fn solve(&self, rhs: &mut [f64]) {
-        let m = self.m;
-        let mut z = vec![0.0; m];
-        for k in 0..m {
-            z[k] = rhs[self.row_of[k]];
-        }
-        // L z' = P·rhs (unit lower), forward over columns of L.
-        for k in 0..m {
+    /// Applies `L̃⁻¹` (the static `L` followed by every accumulated
+    /// Forrest–Tomlin row eta) to `z`, in factored row coordinates.
+    fn lower_solve(&self, z: &mut [f64]) {
+        // L z' = z (unit lower), forward over columns of L.
+        for k in 0..self.m {
             let zk = z[k];
             if zk != 0.0 {
                 for &(i, l) in &self.l_cols[k] {
@@ -529,8 +612,40 @@ impl SparseLu {
                 }
             }
         }
-        // U x' = z', backward over columns of U.
-        for k in (0..m).rev() {
+        // Row etas, in the order the updates accumulated them.
+        for eta in &self.row_etas {
+            let mut s = z[eta.row];
+            for &(j, mu) in &eta.terms {
+                s -= mu * z[j];
+            }
+            z[eta.row] = s;
+        }
+    }
+
+    /// Solves `B·x = rhs` in place; column-oriented with zero skipping.
+    pub fn solve(&self, rhs: &mut [f64]) {
+        self.solve_spiked(rhs, None);
+    }
+
+    /// [`SparseLu::solve`], additionally copying out the intermediate
+    /// `L̃⁻¹·P·rhs` (factored row coordinates) — when `rhs` is an
+    /// entering basis column this is exactly the Forrest–Tomlin spike,
+    /// so a subsequent [`SparseLu::ft_update_spiked`] gets it for free
+    /// instead of re-running the lower solve.
+    pub fn solve_spiked(&self, rhs: &mut [f64], spike: Option<&mut Vec<f64>>) {
+        let m = self.m;
+        let mut z = vec![0.0; m];
+        for k in 0..m {
+            z[k] = rhs[self.row_of[k]];
+        }
+        self.lower_solve(&mut z);
+        if let Some(s) = spike {
+            s.clear();
+            s.extend_from_slice(&z);
+        }
+        // U x' = z', backward over columns of U in pivot order.
+        for t in (0..m).rev() {
+            let k = self.porder[t];
             let xk = z[k] / self.u_diag[k];
             z[k] = xk;
             if xk != 0.0 {
@@ -553,13 +668,24 @@ impl SparseLu {
         for k in 0..m {
             z[k] = rhs[self.col_of[k]];
         }
-        // Uᵀ z' = Qᵀ·rhs (lower triangular), forward over rows of U.
-        for k in 0..m {
+        // Uᵀ z' = Qᵀ·rhs (lower triangular in pivot order), forward over
+        // rows of U.
+        for t in 0..m {
+            let k = self.porder[t];
             let zk = z[k] / self.u_diag[k];
             z[k] = zk;
             if zk != 0.0 {
                 for &(j, u) in &self.u_rows[k] {
                     z[j] -= u * zk;
+                }
+            }
+        }
+        // Transposed row etas, most recent first.
+        for eta in self.row_etas.iter().rev() {
+            let zr = z[eta.row];
+            if zr != 0.0 {
+                for &(j, mu) in &eta.terms {
+                    z[j] -= mu * zr;
                 }
             }
         }
@@ -578,12 +704,144 @@ impl SparseLu {
         }
     }
 
-    /// Stored nonzeros of `L + U` (unit diagonal of `L` not counted,
-    /// diagonal of `U` counted once).
+    /// Absorbs the basis change "slot `slot` leaves, column `col`
+    /// enters" (entries in original row coordinates) into the factors by
+    /// a Forrest–Tomlin update. Returns `false` — with **no state
+    /// mutated** — when the update would be unstable (near-zero updated
+    /// diagonal or exploding multiplier); the caller must then
+    /// refactorize the new basis from scratch.
+    pub fn ft_update(&mut self, slot: usize, col: &[(usize, f64)]) -> bool {
+        // --- spike: w = L̃⁻¹·P·a ---------------------------------------
+        let mut w = vec![0.0; self.m];
+        for &(r, v) in col {
+            w[self.rowpos[r]] = v;
+        }
+        self.lower_solve(&mut w);
+        self.ft_apply(slot, w)
+    }
+
+    /// [`SparseLu::ft_update`] with the spike already in hand (the
+    /// `L̃⁻¹·P·a` intermediate a [`SparseLu::solve_spiked`] FTRAN of the
+    /// entering column saved), skipping the redundant lower solve.
+    pub fn ft_update_spiked(&mut self, slot: usize, spike: Vec<f64>) -> bool {
+        debug_assert_eq!(spike.len(), self.m);
+        self.ft_apply(slot, spike)
+    }
+
+    /// The shared Forrest–Tomlin core: replace factored column
+    /// `colpos[slot]` of `U` with the spike `w`, eliminate the pivot's
+    /// row with one row eta, permute the pivot to the end. See
+    /// [`SparseLu::ft_update`] for the refusal contract.
+    fn ft_apply(&mut self, slot: usize, w: Vec<f64>) -> bool {
+        let m = self.m;
+        let p = self.colpos[slot];
+        let spike_scale = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if spike_scale == 0.0 {
+            return false; // a zero entering column cannot form a basis
+        }
+
+        // --- eliminate row p against U's trailing rows (scratch) -------
+        // Work row = old row p of U; processing the trailing pivot
+        // positions in order eliminates each entry and the fill it
+        // spawns. Nothing is mutated yet: the multipliers and the final
+        // diagonal are computed first so an unstable update can be
+        // refused without corrupting the factors.
+        let mut work = vec![0.0; m];
+        for &(j, v) in &self.u_rows[p] {
+            work[j] = v;
+        }
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        let mut diag = w[p];
+        let row_scale = self.u_rows[p]
+            .iter()
+            .fold(spike_scale, |a, &(_, v)| a.max(v.abs()));
+        for t in self.ppos[p] + 1..m {
+            let j = self.porder[t];
+            let v = work[j];
+            if v == 0.0 {
+                continue;
+            }
+            if v.abs() <= FT_DROP_REL * row_scale {
+                work[j] = 0.0;
+                continue;
+            }
+            let mu = v / self.u_diag[j];
+            if mu.abs() > FT_MULT_MAX {
+                return false; // ill-scaled elimination
+            }
+            terms.push((j, mu));
+            work[j] = 0.0;
+            // Fill spawned into row p lands strictly later in pivot
+            // order (entries of u_rows[j] all do), so the scan
+            // eliminates it in turn.
+            for &(k, ujk) in &self.u_rows[j] {
+                work[k] -= mu * ujk;
+            }
+            // Row j's entry in the spike column contributes to the new
+            // diagonal (the spike is not inserted into U yet).
+            diag -= mu * w[j];
+        }
+        if diag.abs() <= FT_DIAG_REL * spike_scale || !diag.is_finite() {
+            return false; // unstable update: force a refactorization
+        }
+
+        // --- commit ----------------------------------------------------
+        // Drop the old column p…
+        let old_col = std::mem::take(&mut self.u_cols[p]);
+        for (i, _) in old_col {
+            let row = &mut self.u_rows[i];
+            let pos = row
+                .iter()
+                .position(|&(j, _)| j == p)
+                .expect("U row/col desync");
+            row.swap_remove(pos);
+        }
+        // …and the old row p.
+        let old_row = std::mem::take(&mut self.u_rows[p]);
+        for (j, _) in old_row {
+            let cl = &mut self.u_cols[j];
+            let pos = cl
+                .iter()
+                .position(|&(i, _)| i == p)
+                .expect("U row/col desync");
+            cl.swap_remove(pos);
+        }
+        // Insert the spike as the new column p (every other row now
+        // precedes p in pivot order, so all entries are above-diagonal).
+        for (i, &wi) in w.iter().enumerate() {
+            if i != p && wi.abs() > FT_DROP_REL * spike_scale {
+                self.u_cols[p].push((i, wi));
+                self.u_rows[i].push((p, wi));
+            }
+        }
+        self.u_diag[p] = diag;
+        if !terms.is_empty() {
+            self.row_etas.push(RowEta { row: p, terms });
+        }
+        // Cycle p to the end of the pivot order.
+        let start = self.ppos[p];
+        for t in start + 1..m {
+            let k = self.porder[t];
+            self.porder[t - 1] = k;
+            self.ppos[k] = t - 1;
+        }
+        self.porder[m - 1] = p;
+        self.ppos[p] = m - 1;
+        true
+    }
+
+    /// Stored nonzeros of the current `U` (diagonal counted once).
+    pub fn u_nnz(&self) -> usize {
+        self.m + self.u_cols.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Stored nonzeros of `L̃ + U`: the static `L` (unit diagonal not
+    /// counted), the accumulated Forrest–Tomlin row etas, and the
+    /// current `U` (diagonal counted once).
     pub fn nnz(&self) -> usize {
-        self.m
-            + self.l_cols.iter().map(Vec::len).sum::<usize>()
-            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.row_etas.iter().map(|e| e.terms.len()).sum::<usize>()
+            + self.u_nnz()
     }
 }
 
@@ -592,6 +850,7 @@ impl SparseLu {
 // ---------------------------------------------------------------------------
 
 /// The snapshot factorization behind the eta file.
+#[allow(clippy::large_enum_variant)] // one long-lived factor per kernel
 enum Lu {
     Dense(DenseLu),
     Sparse(SparseLu),
@@ -629,17 +888,24 @@ pub(crate) struct Eta {
     pub others: Vec<(usize, f64)>,
 }
 
-/// LU snapshot plus eta file; see the module docs.
+/// LU snapshot plus its pivot-update state (Forrest–Tomlin row etas
+/// inside the sparse LU, or a product-form eta file); see the module
+/// docs.
 pub(crate) struct Factor {
     lu: Lu,
+    /// Effective update scheme (Forrest–Tomlin only on the sparse LU).
+    update: UpdateKind,
+    /// Product-form eta file (always empty under Forrest–Tomlin).
     etas: Vec<Eta>,
-    /// Accumulated eta fill (`1 + others.len()` per eta).
+    /// Pivots absorbed since the refactor (etas or FT updates).
+    updates: usize,
+    /// Accumulated product-form eta fill (`1 + others.len()` per eta).
     eta_nnz: usize,
     /// Nonzeros of the snapshot LU at refactor time.
     lu_nnz: usize,
-    /// Resolved policy: refactor at this eta-file length…
+    /// Resolved policy: refactor after this many absorbed pivots…
     max_etas: usize,
-    /// …or at this much accumulated eta fill.
+    /// …or at this much accumulated update fill.
     max_eta_fill: usize,
 }
 
@@ -690,7 +956,9 @@ impl Factor {
         };
         Some(Factor {
             lu,
+            update: cfg.update,
             etas: Vec::new(),
+            updates: 0,
             eta_nnz: 0,
             lu_nnz,
             max_etas,
@@ -698,28 +966,83 @@ impl Factor {
         })
     }
 
-    /// `true` once streaming more eta updates is worse than
-    /// refactorizing: the file is long ([`FactorConfig::max_etas`]) or
-    /// its accumulated fill outgrew the LU itself
-    /// ([`FactorConfig::fill_growth`]). Round-off accumulated by long
-    /// files is caught by the consumers (pivot-vanished checks,
+    /// `true` once absorbing more pivot updates is worse than
+    /// refactorizing: too many pivots absorbed
+    /// ([`FactorConfig::max_etas`]) or the accumulated update fill
+    /// outgrew the snapshot LU itself ([`FactorConfig::fill_growth`] —
+    /// eta fill under the product form, `U` growth plus row-eta fill
+    /// under Forrest–Tomlin). Round-off accumulated by long update
+    /// sequences is caught by the consumers (pivot-vanished checks,
     /// active-artificial checks) which force an early refactorization.
     pub fn needs_refactor(&self) -> bool {
-        self.etas.len() >= self.max_etas || self.eta_nnz >= self.max_eta_fill
+        self.updates >= self.max_etas || self.update_fill() >= self.max_eta_fill
     }
 
-    /// Nonzeros of the snapshot `L + U` (the dense oracle reports its
-    /// full `m²` storage).
+    /// Fill accumulated by pivot updates since the refactor.
+    fn update_fill(&self) -> usize {
+        match self.update {
+            UpdateKind::ProductForm => self.eta_nnz,
+            // FT fill lives inside the sparse LU (spikes and row etas);
+            // cancellation can also shrink U, hence the saturation.
+            UpdateKind::ForrestTomlin => self.lu.nnz().saturating_sub(self.lu_nnz),
+        }
+    }
+
+    /// Nonzeros of the snapshot `L + U` at refactor time (the dense
+    /// oracle reports its full `m²` storage).
     pub fn lu_nnz(&self) -> usize {
         self.lu_nnz
     }
 
-    /// Appends a pivot update; the caller guarantees `|pivot|` is safely
-    /// away from zero.
+    /// Current stored nonzeros: the (possibly FT-updated) factors plus
+    /// the product-form eta file.
+    pub fn current_nnz(&self) -> usize {
+        self.lu.nnz() + self.eta_nnz
+    }
+
+    /// Current nonzeros of `U` alone (the dense oracle, which keeps no
+    /// separate update state, reports its full `m²` storage).
+    pub fn u_nnz(&self) -> usize {
+        match &self.lu {
+            Lu::Dense(lu) => lu.nnz(),
+            Lu::Sparse(lu) => lu.u_nnz(),
+        }
+    }
+
+    /// The update scheme this factor actually runs (Forrest–Tomlin
+    /// degrades to the product form on the dense snapshot).
+    pub fn update_kind(&self) -> UpdateKind {
+        self.update
+    }
+
+    /// Appends a product-form pivot update; the caller guarantees
+    /// `|pivot|` is safely away from zero.
     pub fn push(&mut self, eta: Eta) {
         debug_assert!(eta.pivot.abs() > 1e-12);
+        debug_assert!(
+            self.update == UpdateKind::ProductForm,
+            "eta pushed onto a Forrest–Tomlin factor"
+        );
         self.eta_nnz += 1 + eta.others.len();
+        self.updates += 1;
         self.etas.push(eta);
+    }
+
+    /// Absorbs a basis change by a Forrest–Tomlin update of the sparse
+    /// factors (see [`SparseLu::ft_update`]). Returns `false` — factors
+    /// untouched — when the update would be unstable; the caller must
+    /// refactorize the new basis.
+    pub fn ft_update(&mut self, slot: usize, col: &[(usize, f64)]) -> bool {
+        debug_assert!(self.update == UpdateKind::ForrestTomlin);
+        let Lu::Sparse(lu) = &mut self.lu else {
+            unreachable!("Forrest–Tomlin is resolved away for the dense snapshot")
+        };
+        if lu.ft_update(slot, col) {
+            self.updates += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Solves `B·x = rhs` in place (forward transformation).
@@ -733,6 +1056,33 @@ impl Factor {
                     x[i] -= d * xr;
                 }
             }
+        }
+    }
+
+    /// [`Factor::ftran`] under Forrest–Tomlin, additionally saving the
+    /// `L̃⁻¹`-phase intermediate into `spike`: when `x` is an entering
+    /// column, a following [`Factor::ft_update_spiked`] absorbs the
+    /// pivot without re-running the lower solve.
+    pub fn ftran_spiked(&self, x: &mut [f64], spike: &mut Vec<f64>) {
+        debug_assert!(self.update == UpdateKind::ForrestTomlin && self.etas.is_empty());
+        match &self.lu {
+            Lu::Sparse(lu) => lu.solve_spiked(x, Some(spike)),
+            Lu::Dense(_) => unreachable!("Forrest–Tomlin is resolved away for the dense snapshot"),
+        }
+    }
+
+    /// [`Factor::ft_update`] with the spike saved by a prior
+    /// [`Factor::ftran_spiked`] of the entering column.
+    pub fn ft_update_spiked(&mut self, slot: usize, spike: Vec<f64>) -> bool {
+        debug_assert!(self.update == UpdateKind::ForrestTomlin);
+        let Lu::Sparse(lu) = &mut self.lu else {
+            unreachable!("Forrest–Tomlin is resolved away for the dense snapshot")
+        };
+        if lu.ft_update_spiked(slot, spike) {
+            self.updates += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -769,11 +1119,14 @@ mod tests {
             .collect()
     }
 
-    /// `Factor` over a dense row-major matrix with the given kind.
+    /// `Factor` over a dense row-major matrix with the given kind, in
+    /// the historical product-form update mode (the Forrest–Tomlin
+    /// update path has its own suite below).
     fn factor_of(a: &[f64], m: usize, kind: FactorKind) -> Option<Factor> {
         let cols = csc_of(a, m);
         let cfg = FactorConfig {
             kind,
+            update: UpdateKind::ProductForm,
             ..FactorConfig::default()
         };
         Factor::refactor(m, &cfg, |j, out| out.extend_from_slice(&cols[j]))
@@ -941,7 +1294,11 @@ mod tests {
             f.ftran(&mut x);
             for i in 0..4 {
                 let got: f64 = (0..4).map(|j| a[i * 4 + j] * x[j]).sum();
-                assert!((got - b[i]).abs() < 1e-9, "{kind:?} row {i}: {got} vs {}", b[i]);
+                assert!(
+                    (got - b[i]).abs() < 1e-9,
+                    "{kind:?} row {i}: {got} vs {}",
+                    b[i]
+                );
             }
             // Sparse rhs through the transpose: Bᵀ y = e2.
             let mut y = vec![0.0, 0.0, 1.0, 0.0];
@@ -949,7 +1306,10 @@ mod tests {
             for i in 0..4 {
                 let got: f64 = (0..4).map(|j| a[j * 4 + i] * y[j]).sum();
                 let want = if i == 2 { 1.0 } else { 0.0 };
-                assert!((got - want).abs() < 1e-9, "{kind:?} col {i}: {got} vs {want}");
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{kind:?} col {i}: {got} vs {want}"
+                );
             }
         }
     }
@@ -969,7 +1329,11 @@ mod tests {
         }
         let sparse = factor_of(&a, m, FactorKind::Sparse).unwrap();
         let dense = factor_of(&a, m, FactorKind::Dense).unwrap();
-        assert!(sparse.lu_nnz() <= 3 * m, "fill {} on tridiagonal", sparse.lu_nnz());
+        assert!(
+            sparse.lu_nnz() <= 3 * m,
+            "fill {} on tridiagonal",
+            sparse.lu_nnz()
+        );
         assert_eq!(dense.lu_nnz(), m * m);
         // Same answers regardless of storage.
         let mut xs: Vec<f64> = (0..m).map(|i| (i % 5) as f64 - 2.0).collect();
@@ -984,6 +1348,159 @@ mod tests {
         assert!(approx(&ys, &yd), "btran diverges");
     }
 
+    /// `Factor` over a dense row-major matrix, sparse snapshot,
+    /// Forrest–Tomlin updates.
+    fn ft_factor_of(a: &[f64], m: usize) -> Option<Factor> {
+        let cols = csc_of(a, m);
+        let cfg = FactorConfig {
+            kind: FactorKind::Sparse,
+            update: UpdateKind::ForrestTomlin,
+            ..FactorConfig::default()
+        };
+        Factor::refactor(m, &cfg, |j, out| out.extend_from_slice(&cols[j]))
+    }
+
+    /// Replaces column `slot` of the dense row-major mirror with `col`.
+    fn replace_col(a: &mut [f64], m: usize, slot: usize, col: &[(usize, f64)]) {
+        for i in 0..m {
+            a[i * m + slot] = 0.0;
+        }
+        for &(r, v) in col {
+            a[r * m + slot] = v;
+        }
+    }
+
+    /// FTRAN/BTRAN of `f` agree with a fresh Markowitz refactorization
+    /// of the dense mirror `a` on a couple of rhs vectors.
+    fn assert_matches_fresh(f: &Factor, a: &[f64], m: usize, stage: &str) {
+        let fresh = factor_of(a, m, FactorKind::Sparse)
+            .unwrap_or_else(|| panic!("{stage}: fresh refactorization failed"));
+        let rhs: Vec<f64> = (0..m).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let mut xu = rhs.clone();
+        let mut xf = rhs.clone();
+        f.ftran(&mut xu);
+        fresh.ftran(&mut xf);
+        assert!(approx(&xu, &xf), "{stage}: ftran diverged {xu:?} vs {xf:?}");
+        let mut yu = rhs.clone();
+        let mut yf = rhs;
+        f.btran(&mut yu);
+        fresh.btran(&mut yf);
+        assert!(approx(&yu, &yf), "{stage}: btran diverged {yu:?} vs {yf:?}");
+    }
+
+    /// A Forrest–Tomlin update tracks a column replacement exactly: the
+    /// same small system as the eta test, answered through updated
+    /// factors instead of an eta file.
+    #[test]
+    fn ft_update_tracks_column_replacement() {
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut f = ft_factor_of(&eye, 3).unwrap();
+        // Replace basis slot 1 with a = (0.5, 2.0, 0.25) (original rows).
+        let col = vec![(0, 0.5), (1, 2.0), (2, 0.25)];
+        assert!(f.ft_update(1, &col), "well-conditioned update refused");
+        let mut x = vec![1.0, 4.0, 1.0];
+        f.ftran(&mut x);
+        assert!(approx(&x, &[0.0, 2.0, 0.5]), "{x:?}");
+        let mut y = vec![3.0, 6.0, 8.0];
+        f.btran(&mut y);
+        assert!(approx(&y, &[3.0, 1.25, 8.0]), "{y:?}");
+        // And against a fresh factorization of the replaced basis.
+        let mut a = eye.to_vec();
+        replace_col(&mut a, 3, 1, &col);
+        assert_matches_fresh(&f, &a, 3, "identity column swap");
+    }
+
+    /// The FT degenerate suite: a 1×1 basis, a pivot already sitting in
+    /// `U`'s last pivot position (no elimination work at all), and a
+    /// near-singular spike, which must be *refused* — with the factors
+    /// left intact — rather than absorbed.
+    #[test]
+    fn ft_degenerate_cases() {
+        // m = 1: the update is a plain diagonal replacement.
+        let mut f = ft_factor_of(&[4.0], 1).unwrap();
+        assert!(f.ft_update(0, &[(0, 8.0)]));
+        let mut x = vec![2.0];
+        f.ftran(&mut x);
+        assert!((x[0] - 0.25).abs() < 1e-12, "{x:?}");
+        assert!(!f.ft_update(0, &[(0, 0.0)]), "zero column accepted");
+
+        // Upper-triangular basis: slot 2 is eliminated last, so its
+        // replacement needs no row eta and no permutation work.
+        let tri = [
+            2.0, 1.0, 1.0, //
+            0.0, 3.0, 1.0, //
+            0.0, 0.0, 4.0,
+        ];
+        let mut f = ft_factor_of(&tri, 3).unwrap();
+        let col = vec![(0, 1.0), (1, 2.0), (2, 8.0)];
+        assert!(f.ft_update(2, &col));
+        let mut a = tri.to_vec();
+        replace_col(&mut a, 3, 2, &col);
+        assert_matches_fresh(&f, &a, 3, "last-position pivot");
+
+        // Near-singular spike: replacing column 1 of the identity with a
+        // column that is (numerically) a copy of column 0 drives the
+        // updated diagonal to round-off → the update must refuse and
+        // leave the factors answering for the *old* basis.
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut f = ft_factor_of(&eye, 3).unwrap();
+        let bad = vec![(0, 1.0), (1, 1e-14), (2, 0.0)];
+        assert!(!f.ft_update(1, &bad), "near-singular spike accepted");
+        assert_matches_fresh(&f, &eye, 3, "refused update must not corrupt");
+    }
+
+    /// A chain of FT updates across several slots (forcing pivot-order
+    /// cycling and row-eta accumulation) keeps agreeing with fresh
+    /// factorizations of the mutated basis.
+    #[test]
+    fn ft_update_chain_matches_fresh_refactorization() {
+        let m = 5;
+        let mut a = vec![0.0f64; m * m];
+        for i in 0..m {
+            a[i * m + i] = 3.0 + i as f64;
+            if i + 1 < m {
+                a[i * m + i + 1] = -1.0;
+                a[(i + 1) * m + i] = 0.5;
+            }
+        }
+        let mut f = ft_factor_of(&a, m).unwrap();
+        let replacements: Vec<(usize, Vec<(usize, f64)>)> = vec![
+            (2, vec![(0, 1.0), (2, 4.0), (4, -0.5)]),
+            (0, vec![(0, 2.5), (1, 1.0), (3, 0.25)]),
+            (2, vec![(1, -1.0), (2, 5.0), (3, 1.0)]),
+            (4, vec![(0, 0.5), (3, -0.75), (4, 6.0)]),
+            (1, vec![(1, 3.5), (2, 0.5), (4, 1.0)]),
+        ];
+        for (step, (slot, col)) in replacements.into_iter().enumerate() {
+            assert!(f.ft_update(slot, &col), "update {step} refused");
+            replace_col(&mut a, m, slot, &col);
+            assert_matches_fresh(&f, &a, m, &format!("after update {step}"));
+        }
+    }
+
+    /// The refactor policy counts FT updates like it counts etas, and
+    /// the fill trigger sees the updated factors' growth.
+    #[test]
+    fn ft_updates_count_toward_the_refactor_policy() {
+        let eye = [1.0, 0.0, 0.0, 1.0];
+        let cols = csc_of(&eye, 2);
+        let mut f = Factor::refactor(
+            2,
+            &FactorConfig {
+                kind: FactorKind::Sparse,
+                update: UpdateKind::ForrestTomlin,
+                max_etas: 2,
+                fill_growth: f64::INFINITY,
+            },
+            |j, out| out.extend_from_slice(&cols[j]),
+        )
+        .unwrap();
+        assert!(f.ft_update(0, &[(0, 2.0), (1, 0.5)]));
+        assert!(!f.needs_refactor(), "fired below the configured length");
+        assert!(f.ft_update(1, &[(0, 0.25), (1, 3.0)]));
+        assert!(f.needs_refactor(), "did not fire at the configured length");
+    }
+
     /// The refactor policy fires exactly at the configured eta-file
     /// length, and independently at the configured fill growth.
     #[test]
@@ -995,6 +1512,7 @@ mod tests {
                 2,
                 &FactorConfig {
                     kind: FactorKind::Sparse,
+                    update: UpdateKind::ProductForm,
                     max_etas,
                     fill_growth,
                 },

@@ -24,17 +24,20 @@
 //!   either bound, pricing may end in a bound *flip*), so the basis
 //!   dimension is the number of genuine constraint rows — roughly half
 //!   of what explicit bound rows would cost on the retiming MILPs;
-//! * the basis is factorized as a **sparse LU snapshot plus product-form
-//!   eta file** (`factor` module): the snapshot is a Markowitz-ordered,
+//! * the basis is factorized as a **sparse LU with Forrest–Tomlin
+//!   updates** (`factor` module): the snapshot is a Markowitz-ordered,
 //!   threshold-pivoted sparse LU assembled straight from the sparse
 //!   columns (`O(nnz(L+U))` storage; [`SolverOptions::factor`] keeps the
-//!   old dense LU as a cross-validation oracle), each pivot appends one
-//!   eta, FTRAN / BTRAN apply triangular solves that are column-oriented
-//!   with zero skipping (cost tracks the fill-in of the sparse
-//!   right-hand sides, not `m²`), and the file is flushed by
-//!   refactorization when it grows long or heavy
-//!   ([`SolverOptions::refactor_eta_len`] /
-//!   [`SolverOptions::refactor_fill_growth`]);
+//!   old dense LU as a cross-validation oracle), each pivot updates the
+//!   factors in place — spike column, one row eta, pivot permuted to the
+//!   end ([`SolverOptions::update`] keeps the historical product-form
+//!   eta file as the A/B baseline) — FTRAN / BTRAN apply triangular
+//!   solves that are column-oriented with zero skipping (cost tracks
+//!   the fill-in of the sparse right-hand sides, not `m²`), and the
+//!   update state is flushed by refactorization when it grows long or
+//!   heavy ([`SolverOptions::refactor_eta_len`] /
+//!   [`SolverOptions::refactor_fill_growth`]), or eagerly when an
+//!   unstable update is refused;
 //! * pricing is Dantzig (most negative reduced cost) with an automatic
 //!   **Bland fallback** after a long degenerate run — the structure is
 //!   steepest-edge-ready (pricing is a separate pass over the sparse
@@ -102,7 +105,8 @@ mod standard;
 pub use branch_bound::{solve_with_stats, solve_with_stats_hinted, BranchBoundStats};
 pub use expr::{LinExpr, VarId};
 pub use model::{
-    cmp, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, Variable,
+    cmp, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind,
+    Variable,
 };
 pub use solution::{Solution, SolveError, Status};
 

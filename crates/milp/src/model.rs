@@ -143,6 +143,27 @@ pub enum FactorKind {
     Dense,
 }
 
+/// How the basis factorization absorbs a pivot (a one-column basis
+/// change) between refactorizations. Only the [`FactorKind::Sparse`]
+/// snapshot supports Forrest–Tomlin; the dense oracle always uses the
+/// product form (see the `factor` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateKind {
+    /// Forrest–Tomlin: the leaving column of `U` is replaced by the
+    /// entering column's spike, the spike row is eliminated with one row
+    /// eta against `U`'s trailing submatrix, and the pivot is permuted
+    /// to the end — FTRAN/BTRAN keep solving against an *updated*
+    /// triangular `U` instead of replaying an unbounded eta file. The
+    /// production default.
+    #[default]
+    ForrestTomlin,
+    /// Product-form eta file: every pivot appends one eta transformation
+    /// that each subsequent FTRAN/BTRAN replays. The historical scheme,
+    /// kept as the cross-validation baseline (and the only scheme the
+    /// dense-LU oracle supports).
+    ProductForm,
+}
+
 /// Node selection strategy of the branch & bound search (see the
 /// `branch_bound` module docs for the search-core architecture).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -174,8 +195,15 @@ pub struct SolverOptions {
     pub time_limit: Option<Duration>,
     /// Absolute integrality tolerance.
     pub int_tol: f64,
-    /// Feasibility / pivot tolerance of the simplex.
+    /// Feasibility tolerance of the simplex: how large a reduced-cost or
+    /// bound violation must be to count as real. Also scales the ratio
+    /// test's tie-break windows (ties within `0.01·feas_tol` of the
+    /// minimum ratio are broken toward the larger pivot).
     pub feas_tol: f64,
+    /// Minimum pivot magnitude the simplex accepts: ratio-test rows and
+    /// dual entering columns whose pivot element is at most this size
+    /// are skipped as numerically unusable.
+    pub pivot_tol: f64,
     /// Maximum simplex iterations per LP solve.
     pub max_pivots: usize,
     /// Try the round-and-fix heuristic at the root node.
@@ -192,6 +220,10 @@ pub struct SolverOptions {
     pub warm_start: bool,
     /// Basis factorization behind the revised kernel (see [`FactorKind`]).
     pub factor: FactorKind,
+    /// How pivots update the factorization between refactorizations (see
+    /// [`UpdateKind`]); [`FactorKind::Dense`] always uses the product
+    /// form regardless of this setting.
+    pub update: UpdateKind,
     /// Branch & bound node selection strategy (see [`NodeOrder`]).
     pub node_order: NodeOrder,
     /// Eta-file length that triggers a refactorization; `0` (the
@@ -212,6 +244,7 @@ impl Default for SolverOptions {
             time_limit: None,
             int_tol: 1e-6,
             feas_tol: 1e-7,
+            pivot_tol: 1e-9,
             // Degenerate phase-1 bases of the retiming MILPs can stall
             // the Dantzig/Bland alternation for a long time; give each LP
             // a generous pivot budget (pivots are cheap, restarts are
@@ -222,6 +255,7 @@ impl Default for SolverOptions {
             kernel: Kernel::Revised,
             warm_start: true,
             factor: FactorKind::Sparse,
+            update: UpdateKind::ForrestTomlin,
             node_order: NodeOrder::DfsNearerFirst,
             refactor_eta_len: 0,
             refactor_fill_growth: 8.0,
@@ -269,8 +303,17 @@ impl Model {
     /// # Panics
     ///
     /// Panics if `lower > upper` or either bound is NaN.
-    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, integer: bool) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        integer: bool,
+    ) -> VarId {
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
         let id = VarId(self.vars.len());
         self.vars.push(Variable {

@@ -17,7 +17,7 @@
 use proptest::prelude::*;
 
 use crate::factor::{Eta, Factor, FactorConfig};
-use crate::model::{cmp, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions};
+use crate::model::{cmp, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind};
 use crate::solution::SolveError;
 use crate::LinExpr;
 
@@ -74,9 +74,8 @@ fn planted_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = Planted
         // variables are declared integral.
         let point = proptest::collection::vec((0..=6i32).prop_map(|v| v as f64), nv);
         let row = (
-            proptest::collection::vec(-5..=5i32, nv).prop_map(|v| {
-                v.into_iter().map(|c| c as f64).collect::<Vec<_>>()
-            }),
+            proptest::collection::vec(-5..=5i32, nv)
+                .prop_map(|v| v.into_iter().map(|c| c as f64).collect::<Vec<_>>()),
             any::<bool>(),
             (0..=40i32).prop_map(|s| s as f64 / 4.0),
         );
@@ -295,7 +294,12 @@ proptest! {
         let mk = |kind| {
             Factor::refactor(
                 m,
-                &FactorConfig { kind, max_etas: 0, fill_growth: 8.0 },
+                &FactorConfig {
+                    kind,
+                    update: UpdateKind::ProductForm,
+                    max_etas: 0,
+                    fill_growth: 8.0,
+                },
                 |j, out| out.extend_from_slice(&cols[j]),
             )
             .expect("diagonally dominant basis is nonsingular")
@@ -441,6 +445,188 @@ proptest! {
                 dfs.1.nodes,
                 ties
             );
+        }
+    }
+
+    /// **Forrest–Tomlin oracle**: random admissible pivot sequences
+    /// (same planted-dominance basis family as the eta-file test) driven
+    /// through `ft_update`; after every absorbed pivot the FT-updated
+    /// FTRAN/BTRAN must agree within 1e-9 with a *fresh* Markowitz
+    /// refactorization of the mutated basis, and with a product-form
+    /// factor fed the equivalent eta.
+    #[test]
+    fn ft_updates_match_fresh_refactorization_and_eta_file(
+        m in 1usize..9,
+        entries in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), -1.0f64..1.0),
+            24,
+        ),
+        rowp in prop::collection::vec(any::<prop::sample::Index>(), 9),
+        colp in prop::collection::vec(any::<prop::sample::Index>(), 9),
+        pivots in prop::collection::vec(
+            (any::<prop::sample::Index>(), prop::collection::vec(-1.0f64..1.0, 9)),
+            5,
+        ),
+        rhs_raw in prop::collection::vec(-2.0f64..2.0, 9),
+        rhs_mask in prop::collection::vec(any::<bool>(), 9),
+    ) {
+        // Planted diagonally dominant basis, randomly permuted (see the
+        // eta-file proptest above for the construction rationale).
+        let mut a = vec![0.0f64; m * m];
+        for (ri, ci, v) in &entries {
+            a[ri.index(m) * m + ci.index(m)] = *v;
+        }
+        for i in 0..m {
+            let off: f64 = (0..m).filter(|&j| j != i).map(|j| a[i * m + j].abs()).sum();
+            a[i * m + i] = off + 1.0;
+        }
+        let perm = |idx: &[prop::sample::Index]| {
+            let mut p: Vec<usize> = (0..m).collect();
+            for i in (1..m).rev() {
+                p.swap(i, idx[i].index(i + 1));
+            }
+            p
+        };
+        let (rp, cp) = (perm(&rowp), perm(&colp));
+        let mut b = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                b[rp[i] * m + cp[j]] = a[i * m + j];
+            }
+        }
+        let csc = |b: &[f64]| -> Vec<Vec<(usize, f64)>> {
+            (0..m)
+                .map(|j| {
+                    (0..m)
+                        .filter(|&i| b[i * m + j] != 0.0)
+                        .map(|i| (i, b[i * m + j]))
+                        .collect()
+                })
+                .collect()
+        };
+        let mk = |b: &[f64], update: UpdateKind| {
+            let cols = csc(b);
+            Factor::refactor(
+                m,
+                &FactorConfig {
+                    kind: FactorKind::Sparse,
+                    update,
+                    max_etas: 1_000_000, // keep updates in play: no auto flush
+                    fill_growth: 0.0,
+                },
+                |j, out| out.extend_from_slice(&cols[j]),
+            )
+            .expect("diagonally dominant basis is nonsingular")
+        };
+        let mut ft = mk(&b, UpdateKind::ForrestTomlin);
+        let mut pf = mk(&b, UpdateKind::ProductForm);
+
+        let rhs: Vec<f64> = (0..m)
+            .map(|i| if rhs_mask[i] { rhs_raw[i] } else { 0.0 })
+            .collect();
+        let check = |ft: &Factor, pf: &Factor, fresh: &Factor, stage: &str| {
+            for (label, other) in [("fresh refactorization", fresh), ("eta file", pf)] {
+                let mut xu = rhs.clone();
+                let mut xo = rhs.clone();
+                ft.ftran(&mut xu);
+                other.ftran(&mut xo);
+                for i in 0..m {
+                    assert!(
+                        (xu[i] - xo[i]).abs() < 1e-9,
+                        "{stage}: ftran[{i}] FT {} vs {label} {}",
+                        xu[i],
+                        xo[i]
+                    );
+                }
+                let mut yu = rhs.clone();
+                let mut yo = rhs.clone();
+                ft.btran(&mut yu);
+                other.btran(&mut yo);
+                for i in 0..m {
+                    assert!(
+                        (yu[i] - yo[i]).abs() < 1e-9,
+                        "{stage}: btran[{i}] FT {} vs {label} {}",
+                        yu[i],
+                        yo[i]
+                    );
+                }
+            }
+        };
+        check(&ft, &pf, &mk(&b, UpdateKind::ForrestTomlin), "snapshot");
+
+        // Random admissible pivot sequence: replace basis slot `slot`
+        // with a random column whose direction has a usable pivot. The
+        // FT factor absorbs the column, the product-form factor the
+        // equivalent eta, and the fresh factorization sees the mutated
+        // dense mirror.
+        for (step, (slot, colvals)) in pivots.iter().enumerate() {
+            let r = slot.index(m);
+            let mut d: Vec<f64> = colvals[..m].to_vec();
+            ft.ftran(&mut d);
+            if d[r].abs() < 0.1 {
+                continue; // replacement would make B near-singular
+            }
+            let col: Vec<(usize, f64)> = colvals[..m]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            prop_assert!(ft.ft_update(r, &col), "admissible update {step} refused");
+            let others: Vec<(usize, f64)> = d
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| i != r && v.abs() > 1e-12)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            pf.push(Eta { row: r, pivot: d[r], others });
+            for i in 0..m {
+                b[i * m + r] = 0.0;
+            }
+            for &(i, v) in &col {
+                b[i * m + r] = v;
+            }
+            check(
+                &ft,
+                &pf,
+                &mk(&b, UpdateKind::ForrestTomlin),
+                &format!("after pivot {step}"),
+            );
+        }
+    }
+
+    /// Every `FactorKind` × `UpdateKind` combination, run through the
+    /// full warm-started branch & bound, must agree on the verdict and
+    /// the objective (Forrest–Tomlin degrades to the product form on the
+    /// dense snapshot — that combination pins the degradation path).
+    #[test]
+    fn factor_and_update_kinds_agree_on_milps(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let mut reference: Option<f64> = None;
+        for factor in [FactorKind::Sparse, FactorKind::Dense] {
+            for update in [UpdateKind::ForrestTomlin, UpdateKind::ProductForm] {
+                let opts = SolverOptions {
+                    max_nodes: 4_000,
+                    factor,
+                    update,
+                    ..Default::default()
+                };
+                let (sol, stats) =
+                    crate::solve_with_stats(&m, &opts).expect("planted MILP must be feasible");
+                prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5);
+                if stats.truncated {
+                    continue;
+                }
+                match reference {
+                    None => reference = Some(sol.objective),
+                    Some(r) => prop_assert!(
+                        (sol.objective - r).abs() < 1e-7,
+                        "{factor:?}/{update:?}: {} vs reference {}",
+                        sol.objective,
+                        r
+                    ),
+                }
+            }
         }
     }
 

@@ -2,8 +2,11 @@
 //!
 //! Where the dense oracle ([`crate::simplex`]) updates an `(m+1) × width`
 //! tableau on every pivot, this kernel keeps the constraint matrix as
-//! **sparse columns**, the basis as an LU snapshot plus product-form eta
-//! file ([`crate::factor`]), and — crucially — variable bounds on the
+//! **sparse columns**, the basis as a sparse LU kept current across
+//! pivots by Forrest–Tomlin updates — or an LU snapshot plus
+//! product-form eta file under
+//! [`UpdateKind::ProductForm`](crate::UpdateKind), see
+//! [`crate::factor`] — and — crucially — variable bounds on the
 //! *columns* (`l ≤ y ≤ u`) rather than as extra rows. Nonbasic columns
 //! rest at either bound; the entering step may terminate in a **bound
 //! flip** (no basis change at all). Compared to the row-bounded layout
@@ -28,9 +31,16 @@
 //!   resynced by one sparse FTRAN at the next pivot run.
 
 use crate::factor::{Eta, Factor, FactorConfig};
-use crate::model::SolverOptions;
+use crate::model::{SolverOptions, UpdateKind};
 use crate::solution::SolveError;
 use crate::standard::BoxedForm;
+
+/// Drop tolerance for product-form eta entries: pivot-direction
+/// components at or below this magnitude are sparsified away. A
+/// *storage* threshold, deliberately far below
+/// [`SolverOptions::pivot_tol`] so the dropped mass stays at round-off
+/// level — not a pivot admissibility check.
+const ETA_DROP_TOL: f64 = 1e-12;
 
 /// Telemetry of the factorization layer, accumulated per kernel
 /// instance (surfaced through
@@ -43,6 +53,15 @@ pub(crate) struct FactorStats {
     /// Largest `nnz(L+U)` any snapshot reached (the dense oracle
     /// reports its full `m²` storage here).
     pub peak_lu_nnz: usize,
+    /// Successful Forrest–Tomlin updates (0 under the product form).
+    pub ft_updates: usize,
+    /// Refactorizations forced by a refused (unstable) Forrest–Tomlin
+    /// update, as opposed to the scheduled length/fill policy.
+    pub forced_refactors: usize,
+    /// Largest nonzero count the (updated) `U` factor reached — the
+    /// fill price of absorbing pivots into the factors (the dense
+    /// oracle reports its full `m²` storage here).
+    pub peak_u_nnz: usize,
 }
 
 /// Outcome of a pivoting phase.
@@ -199,10 +218,48 @@ impl Revised {
         }
     }
 
-    /// `true` when some basic artificial sits at a non-zero value — the
-    /// "solution" would violate a constraint and must not be trusted.
+    /// **Per-row** magnitude scale of the right-hand side the basis must
+    /// reproduce: for each row the largest of `|b_r|` and the resting
+    /// nonbasic contributions `|a_rj·value_j|`, floored at a round-off
+    /// allowance proportional to the *global* scale (pivoting mixes rows,
+    /// so even a zero-rhs row carries noise at the global magnitude).
+    /// Residual cutoffs (the phase-1 exit and the active-artificial
+    /// check) are taken **relative to the violated row's own scale**: a
+    /// uniformly tiny (say 1e-9-scaled) model does not mask genuine
+    /// infeasibility under an absolute cutoff, a hugely scaled feasible
+    /// one does not trip it on round-off, and — per-row, not a single
+    /// global maximum — a unit-scale contradiction stays detectable next
+    /// to a 1e6-scale row.
+    fn row_scales(&self) -> Vec<f64> {
+        let mut s = vec![0.0f64; self.m];
+        for (sr, &br) in s.iter_mut().zip(&self.b) {
+            *sr = br.abs();
+        }
+        for j in 0..self.n {
+            if !self.in_basis[j] {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    for &(r, a) in &self.cols[j] {
+                        s[r] = s[r].max((a * v).abs());
+                    }
+                }
+            }
+        }
+        let global = s.iter().fold(0.0f64, |a, &v| a.max(v));
+        let floor = (1e3 * f64::EPSILON * global).max(f64::MIN_POSITIVE);
+        for sr in &mut s {
+            *sr = sr.max(floor);
+        }
+        s
+    }
+
+    /// `true` when some basic artificial sits at a value that is
+    /// non-zero **relative to its row's rhs scale** (`tol` is a relative
+    /// tolerance) — the "solution" would violate a constraint and must
+    /// not be trusted.
     pub fn has_active_artificial(&self, tol: f64) -> bool {
-        (0..self.m).any(|r| self.basis[r] >= self.n && self.xb[r].abs() > tol)
+        let scales = self.row_scales();
+        (0..self.m).any(|r| self.basis[r] >= self.n && self.xb[r].abs() > tol * scales[r])
     }
 
     /// Primal solution over the real columns (basic values clamped into
@@ -287,6 +344,7 @@ impl Revised {
             Some(f) => {
                 self.factor_stats.refactors += 1;
                 self.factor_stats.peak_lu_nnz = self.factor_stats.peak_lu_nnz.max(f.lu_nnz());
+                self.factor_stats.peak_u_nnz = self.factor_stats.peak_u_nnz.max(f.u_nnz());
                 self.factor = Some(f);
                 Ok(())
             }
@@ -367,12 +425,24 @@ impl Revised {
         Ok(())
     }
 
-    /// Direction `d = B⁻¹ A_j`.
-    fn direction(&self, j: usize) -> Vec<f64> {
+    /// Direction `d = B⁻¹ A_j`. Under Forrest–Tomlin the lower-solve
+    /// intermediate (the FT spike of column `j`) is saved alongside, so
+    /// a pivot on `j` updates the factors without repeating that solve.
+    fn direction(&self, j: usize) -> (Vec<f64>, Option<Vec<f64>>) {
         let mut d = vec![0.0; self.m];
         self.for_col(j, |r, v| d[r] = v);
-        self.factor.as_ref().expect("factorized").ftran(&mut d);
-        d
+        let factor = self.factor.as_ref().expect("factorized");
+        match factor.update_kind() {
+            UpdateKind::ForrestTomlin => {
+                let mut spike = Vec::with_capacity(self.m);
+                factor.ftran_spiked(&mut d, &mut spike);
+                (d, Some(spike))
+            }
+            UpdateKind::ProductForm => {
+                factor.ftran(&mut d);
+                (d, None)
+            }
+        }
     }
 
     /// Duals `y = B⁻ᵀ c_B` for the given phase.
@@ -387,6 +457,7 @@ impl Revised {
     /// Executes the basis change `basis[prow] := enter`: the entering
     /// column moves by `sigma·t` from its resting value, the leaving
     /// variable parks at its upper bound when `leave_to_upper`.
+    #[allow(clippy::too_many_arguments)]
     fn pivot(
         &mut self,
         prow: usize,
@@ -394,10 +465,14 @@ impl Revised {
         sigma: f64,
         t: f64,
         d: Vec<f64>,
+        spike: Option<Vec<f64>>,
         leave_to_upper: bool,
+        opts: &SolverOptions,
     ) -> Result<(), SolveError> {
-        let pivot = d[prow];
-        debug_assert!(pivot.abs() > 1e-12, "pivot on a zero element");
+        debug_assert!(
+            d[prow].abs() > opts.pivot_tol,
+            "pivot below the configured pivot tolerance"
+        );
         let enter_value = self.nb_value_any(enter) + sigma * t;
         for (x, &di) in self.xb.iter_mut().zip(d.iter()) {
             *x -= sigma * t * di;
@@ -410,19 +485,71 @@ impl Revised {
         }
         self.basis[prow] = enter;
         self.in_basis[enter] = true;
-        let others: Vec<(usize, f64)> = d
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != prow && v.abs() > 1e-12)
-            .map(|(i, &v)| (i, v))
-            .collect();
-        self.factor.as_mut().expect("factorized").push(Eta {
-            row: prow,
-            pivot,
-            others,
-        });
         self.iters += 1;
-        if self.factor.as_ref().expect("factorized").needs_refactor() {
+        self.update_basis(prow, enter, &d, spike)
+    }
+
+    /// Absorbs the basis change at `prow` into the factorization:
+    /// Forrest–Tomlin updates the sparse factors in place (falling back
+    /// to a full refactorization when the update is refused as unstable
+    /// — a **forced** refactor), the product form appends an eta built
+    /// from the pivot direction `d`. Either way the scheduled
+    /// length/fill refactor policy runs afterwards.
+    fn update_basis(
+        &mut self,
+        prow: usize,
+        enter: usize,
+        d: &[f64],
+        spike: Option<Vec<f64>>,
+    ) -> Result<(), SolveError> {
+        // Gathered before the factor is mutably borrowed; only the
+        // spike-less FT fallback reads it.
+        let mut enter_col: Vec<(usize, f64)> = Vec::new();
+        if spike.is_none() {
+            self.for_col(enter, |r, v| enter_col.push((r, v)));
+        }
+        let factor = self.factor.as_mut().expect("factorized");
+        match factor.update_kind() {
+            UpdateKind::ProductForm => {
+                let others: Vec<(usize, f64)> = d
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &v)| i != prow && v.abs() > ETA_DROP_TOL)
+                    .map(|(i, &v)| (i, v))
+                    .collect();
+                factor.push(Eta {
+                    row: prow,
+                    pivot: d[prow],
+                    others,
+                });
+            }
+            UpdateKind::ForrestTomlin => {
+                // The spike saved by `direction(enter)`'s FTRAN; absent
+                // only if a caller pivots without having priced a
+                // direction, which none does.
+                let ok = match spike {
+                    Some(spike) => factor.ft_update_spiked(prow, spike),
+                    None => factor.ft_update(prow, &enter_col),
+                };
+                if ok {
+                    self.factor_stats.ft_updates += 1;
+                    // The snapshot itself grows under FT (spikes + row
+                    // etas); peaks are tracked per update, not only at
+                    // refactor time as in the product form.
+                    self.factor_stats.peak_lu_nnz =
+                        self.factor_stats.peak_lu_nnz.max(factor.current_nnz());
+                    self.factor_stats.peak_u_nnz = self.factor_stats.peak_u_nnz.max(factor.u_nnz());
+                } else {
+                    // Unstable update: refactorize the new basis instead.
+                    self.factor_stats.forced_refactors += 1;
+                    self.refactor()?;
+                    self.compute_xb();
+                    return Ok(());
+                }
+            }
+        }
+        let factor = self.factor.as_ref().expect("factorized");
+        if factor.needs_refactor() {
             self.refactor()?;
             self.compute_xb();
         }
@@ -472,9 +599,7 @@ impl Revised {
                     // Entering the basis removes the column's own resting
                     // contribution from the effective rhs.
                     let basic_val = (beff[r] + v * self.nb_value(j)) / v;
-                    if basic_val >= self.lower[j] - 1e-9
-                        && basic_val <= self.upper[j] + 1e-9
-                    {
+                    if basic_val >= self.lower[j] - 1e-9 && basic_val <= self.upper[j] + 1e-9 {
                         // Ascending scan: the last qualifying column is
                         // the highest-index (auxiliary) one.
                         choice[r] = Some(j);
@@ -528,13 +653,24 @@ impl Revised {
     /// hits a bound, capped by the entering column's own span (a bound
     /// flip). Returns `(t, blocking_row, leaving_to_upper)`; a `None`
     /// row at finite `t` is a flip, `t = ∞` means unbounded.
+    ///
+    /// Tolerances come from the solver options: rows whose pivot element
+    /// is at most [`SolverOptions::pivot_tol`] are ineligible, and rows
+    /// whose ratio ties the minimum within `0.01·feas_tol` are broken
+    /// toward the larger pivot magnitude (Bland mode breaks ties — at
+    /// the much tighter `1e-5·feas_tol`, a pure float-noise window —
+    /// toward the smaller column index, as its anti-cycling argument
+    /// requires).
     fn ratio_test(
         &self,
         sigma: f64,
         d: &[f64],
         bland: bool,
+        opts: &SolverOptions,
     ) -> (f64, Option<usize>, bool) {
-        let tol = 1e-9;
+        let tol = opts.pivot_tol;
+        let tie = 0.01 * opts.feas_tol;
+        let bland_tie = 1e-5 * opts.feas_tol;
         let mut best_t = f64::INFINITY;
         let mut best_row: Option<usize> = None;
         let mut best_to_upper = false;
@@ -554,11 +690,11 @@ impl Revised {
                 continue;
             };
             let better = if bland {
-                t_r < best_t - 1e-12
-                    || (t_r < best_t + 1e-12
+                t_r < best_t - bland_tie
+                    || (t_r < best_t + bland_tie
                         && best_row.is_some_and(|br| self.basis[r] < self.basis[br]))
             } else {
-                t_r < best_t - 1e-9 || (t_r < best_t + 1e-9 && delta.abs() > best_piv)
+                t_r < best_t - tie || (t_r < best_t + tie && delta.abs() > best_piv)
             };
             if better {
                 best_t = t_r;
@@ -595,8 +731,8 @@ impl Revised {
                 return Ok(PhaseEnd::Optimal);
             };
             let sigma = if self.at_upper[enter] { -1.0 } else { 1.0 };
-            let d = self.direction(enter);
-            let (t_block, block, to_upper) = self.ratio_test(sigma, &d, bland);
+            let (d, spike) = self.direction(enter);
+            let (t_block, block, to_upper) = self.ratio_test(sigma, &d, bland, opts);
             let span = self.upper[enter] - self.lower[enter];
             let t = t_block.min(span);
             if !t.is_finite() {
@@ -612,7 +748,7 @@ impl Revised {
                 self.iters += 1;
             } else {
                 let prow = block.expect("finite blocking t without a row");
-                self.pivot(prow, enter, sigma, t, d, to_upper)?;
+                self.pivot(prow, enter, sigma, t, d, spike, to_upper, opts)?;
             }
             *pivots_left -= 1;
             if t.abs() <= 1e-12 {
@@ -649,14 +785,19 @@ impl Revised {
                     return Err(SolveError::Numerical("phase-1 unbounded".into()));
                 }
             }
-            let phase1_obj: f64 = (0..self.m)
-                .filter(|&r| self.basis[r] >= self.n)
-                .map(|r| self.xb[r].max(0.0))
-                .sum();
-            if phase1_obj > 1e-6 {
+            // Infeasibility is judged per row, relative to that row's
+            // rhs/bound scale: a 1e-9-scaled model leaves a ~1e-9
+            // residual when genuinely infeasible (far below any absolute
+            // 1e-6 cutoff), a hugely scaled feasible one carries
+            // round-off far above it, and a unit-scale contradiction is
+            // not masked by an unrelated huge row.
+            let scales = self.row_scales();
+            let infeasible = (0..self.m)
+                .any(|r| self.basis[r] >= self.n && self.xb[r].max(0.0) > 1e-6 * scales[r]);
+            if infeasible {
                 return Err(SolveError::Infeasible);
             }
-            self.drive_out_artificials(pivots_left)?;
+            self.drive_out_artificials(opts, pivots_left)?;
         }
 
         match self.run_primal(false, opts, pivots_left)? {
@@ -667,7 +808,11 @@ impl Revised {
 
     /// Pivots zero-valued basic artificials out of the basis where a real
     /// column can replace them (rows that stay artificial are redundant).
-    fn drive_out_artificials(&mut self, pivots_left: &mut usize) -> Result<(), SolveError> {
+    fn drive_out_artificials(
+        &mut self,
+        opts: &SolverOptions,
+        pivots_left: &mut usize,
+    ) -> Result<(), SolveError> {
         for r in 0..self.m {
             if self.basis[r] < self.n {
                 continue;
@@ -681,11 +826,11 @@ impl Revised {
                     && self.col_dot(j, &rho).abs() > 1e-7
             });
             if let Some(enter) = enter {
-                let d = self.direction(enter);
-                if d[r].abs() > 1e-9 {
+                let (d, spike) = self.direction(enter);
+                if d[r].abs() > opts.pivot_tol {
                     // Degenerate swap: the artificial sits at 0, so the
                     // entering column does not move (t = 0).
-                    self.pivot(r, enter, 1.0, 0.0, d, false)?;
+                    self.pivot(r, enter, 1.0, 0.0, d, spike, false, opts)?;
                     *pivots_left = pivots_left.saturating_sub(1);
                 }
             }
@@ -754,7 +899,10 @@ impl Revised {
             // violated bound: entering column j moving by `sigma_j·μ`
             // (μ > 0) changes xb[prow] by −sigma_j·alpha_j·μ, which must
             // have the repairing sign. Ratio = |rc_j| / |alpha_j|; ties
-            // break toward the larger pivot magnitude.
+            // (within `0.01·feas_tol`, mirroring the primal ratio test)
+            // break toward the larger pivot magnitude; pivots at or
+            // below `pivot_tol` are ineligible.
+            let ratio_tie = 0.01 * opts.feas_tol;
             let mut enter: Option<(usize, f64)> = None;
             let mut best_ratio = f64::INFINITY;
             let mut best_alpha = 0.0f64;
@@ -763,23 +911,27 @@ impl Revised {
                     continue;
                 }
                 let alpha = self.col_dot(j, &rho);
-                if alpha.abs() <= 1e-9 {
+                if alpha.abs() <= opts.pivot_tol {
                     continue;
                 }
                 let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
                 // Need −sigma·alpha > 0 when below (raise xb), < 0 when
                 // above (lower xb).
                 let effect = -sigma * alpha;
-                if (below && effect <= 1e-9) || (!below && effect >= -1e-9) {
+                if (below && effect <= opts.pivot_tol) || (!below && effect >= -opts.pivot_tol) {
                     continue;
                 }
                 let rc = self.cost_of(j, false) - self.col_dot(j, &y);
                 // Dual feasibility: rc ≥ 0 at lower, ≤ 0 at upper; clamp
                 // round-off.
-                let num = if self.at_upper[j] { (-rc).max(0.0) } else { rc.max(0.0) };
+                let num = if self.at_upper[j] {
+                    (-rc).max(0.0)
+                } else {
+                    rc.max(0.0)
+                };
                 let ratio = num / alpha.abs();
-                if ratio < best_ratio - 1e-9
-                    || (ratio < best_ratio + 1e-9 && alpha.abs() > best_alpha)
+                if ratio < best_ratio - ratio_tie
+                    || (ratio < best_ratio + ratio_tie && alpha.abs() > best_alpha)
                 {
                     best_ratio = ratio;
                     enter = Some((j, sigma));
@@ -790,8 +942,8 @@ impl Revised {
                 // Dual unbounded: the violated row cannot be repaired.
                 return Err(SolveError::Infeasible);
             };
-            let d = self.direction(enter);
-            if d[prow].abs() <= 1e-9 {
+            let (d, spike) = self.direction(enter);
+            if d[prow].abs() <= opts.pivot_tol {
                 // Factorization drift: the FTRAN direction disagrees with
                 // the BTRAN row. Refactorize, recompute x_B, and restart
                 // the iteration — the corrected x_B may change which row
@@ -807,12 +959,13 @@ impl Revised {
                 continue;
             }
             just_refactored = false;
-            self.dual_pivot(prow, enter, sigma, below, d)?;
+            self.dual_pivot(prow, enter, sigma, below, d, spike, opts)?;
             *pivots_left -= 1;
         }
     }
 
     /// One dual pivot: drive `xb[prow]` exactly onto its violated bound.
+    #[allow(clippy::too_many_arguments)]
     fn dual_pivot(
         &mut self,
         prow: usize,
@@ -820,12 +973,14 @@ impl Revised {
         sigma: f64,
         below: bool,
         d: Vec<f64>,
+        spike: Option<Vec<f64>>,
+        opts: &SolverOptions,
     ) -> Result<(), SolveError> {
         let (lb, ub) = self.box_of(self.basis[prow]);
         let target = if below { lb } else { ub };
         // xb[prow] − sigma·t·d[prow] = target
         let t = (self.xb[prow] - target) / (sigma * d[prow]);
-        self.pivot(prow, enter, sigma, t.max(0.0), d, !below)
+        self.pivot(prow, enter, sigma, t.max(0.0), d, spike, !below, opts)
     }
 
     /// Primal phase-2 cleanup from the current (primal-feasible) basis.
@@ -851,10 +1006,7 @@ impl Revised {
 /// # Errors
 ///
 /// See [`Revised::solve_two_phase`].
-pub(crate) fn solve(
-    bf: &BoxedForm,
-    opts: &SolverOptions,
-) -> Result<(Vec<f64>, usize), SolveError> {
+pub(crate) fn solve(bf: &BoxedForm, opts: &SolverOptions) -> Result<(Vec<f64>, usize), SolveError> {
     if bf.sf.proven_infeasible {
         return Err(SolveError::Infeasible);
     }
@@ -930,7 +1082,10 @@ mod tests {
         m.set_objective(2.0 * x + y);
         m.add_constraint(x + y, cmp::LE, 100.0);
         let v = solve_model(&m).unwrap();
-        assert!((v[0] - 3.0).abs() < 1e-7 && (v[1] - 5.0).abs() < 1e-7, "{v:?}");
+        assert!(
+            (v[0] - 3.0).abs() < 1e-7 && (v[1] - 5.0).abs() < 1e-7,
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -1118,6 +1273,169 @@ mod tests {
             refactors_eager > 1 && refactors_eager <= iters + 1,
             "eager policy did not fire: {refactors_eager} refactors over {iters} pivots"
         );
+    }
+
+    /// A kernel whose `ratio_test` can be probed directly: two rows, two
+    /// real columns, basis = the two structural columns, `xb` set by the
+    /// test. (`ratio_test` reads only the basis, boxes and `xb`, so no
+    /// factorization is needed.)
+    fn ratio_probe(xb: [f64; 2], opts: &SolverOptions) -> Revised {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint(LinExpr::var(x), cmp::EQ, 1.0);
+        m.add_constraint(LinExpr::var(y), cmp::EQ, 1.0);
+        let bf = BoxedForm::build(&m);
+        let mut k = Revised::new(&bf, opts);
+        k.basis[0] = 0;
+        k.basis[1] = 1;
+        k.in_basis[0] = true;
+        k.in_basis[1] = true;
+        k.xb = xb.to_vec();
+        k
+    }
+
+    /// **Tolerance-hygiene regression**: the ratio test's tie window is
+    /// `0.01·feas_tol`, so a non-default `feas_tol` genuinely changes
+    /// which row blocks. Two rows with ratios 1.0 and 1.0 + 5e-10: at
+    /// the default (window 1e-9) they tie and the larger pivot wins
+    /// (row 1); with `feas_tol = 1e-12` the window collapses and the
+    /// strictly smaller ratio wins (row 0).
+    #[test]
+    fn feas_tol_changes_the_blocking_row() {
+        let d = [1.0, 2.0];
+        let defaults = SolverOptions::default();
+        let k = ratio_probe([1.0, 2.0 * (1.0 + 5e-10)], &defaults);
+        let (t, row, _) = k.ratio_test(1.0, &d, false, &defaults);
+        assert_eq!(
+            row,
+            Some(1),
+            "default window must tie-break to the larger pivot"
+        );
+        assert!((t - 1.0).abs() < 1e-6);
+
+        let tight = SolverOptions {
+            feas_tol: 1e-12,
+            ..Default::default()
+        };
+        let k = ratio_probe([1.0, 2.0 * (1.0 + 5e-10)], &tight);
+        let (_, row, _) = k.ratio_test(1.0, &d, false, &tight);
+        assert_eq!(
+            row,
+            Some(0),
+            "tight feas_tol must pick the strictly smaller ratio"
+        );
+    }
+
+    /// **Tolerance-hygiene regression**: rows whose pivot element is at
+    /// most `pivot_tol` are ineligible — so shrinking `pivot_tol` below
+    /// a tiny pivot brings its row into play.
+    #[test]
+    fn pivot_tol_gates_ratio_test_eligibility() {
+        let d = [1e-10, 1.0];
+        let defaults = SolverOptions::default(); // pivot_tol = 1e-9
+        let k = ratio_probe([1e-12, 5.0], &defaults);
+        let (_, row, _) = k.ratio_test(1.0, &d, false, &defaults);
+        assert_eq!(row, Some(1), "sub-tolerance pivot row must be skipped");
+
+        let loose = SolverOptions {
+            pivot_tol: 1e-12,
+            ..Default::default()
+        };
+        let k = ratio_probe([1e-12, 5.0], &loose);
+        let (_, row, _) = k.ratio_test(1.0, &d, false, &loose);
+        assert_eq!(
+            row,
+            Some(0),
+            "smaller pivot_tol must admit the tiny-pivot row"
+        );
+    }
+
+    /// **Scaled-model regression (ported from the PR 3 factor suite to
+    /// the primal entry point)**: a 1e-9-scaled *infeasible* model —
+    /// after the standard form's row equilibration a uniformly tiny
+    /// model is exactly a tiny-**rhs** model — leaves a ~1e-9 phase-1
+    /// residual, far below the old absolute `1e-6` cutoff, which
+    /// silently accepted the garbage point as "feasible". The cutoff is
+    /// relative to the rhs scale now.
+    #[test]
+    fn tiny_scaled_infeasibility_is_detected() {
+        let s = 1e-9;
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(x + LinExpr::var(y));
+        // Two parallel equalities 1e-9 apart: infeasible by exactly s.
+        m.add_constraint(x + y, cmp::EQ, s);
+        m.add_constraint(x + y, cmp::EQ, 2.0 * s);
+        assert_eq!(solve_model(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    /// The relative cutoff is **per row**, not a single global maximum:
+    /// a unit-scale contradiction (y constrained to both 1 and 2) next
+    /// to an unrelated 1e6-scale row must still be detected — under a
+    /// global scale the cutoff would balloon to `1e-6·1e6 = 1` and
+    /// accept the 0.5-violating point as feasible.
+    #[test]
+    fn mixed_scale_infeasibility_is_not_masked_by_a_large_row() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(x + y);
+        m.add_constraint(x + 0.5 * y, cmp::EQ, 1e6);
+        m.add_constraint(x - y, cmp::EQ, 1.0);
+        m.add_constraint(x - y, cmp::EQ, 2.0);
+        assert_eq!(solve_model(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    /// The feasible side of the same regression: a well-conditioned
+    /// model living entirely at rhs scale 1e-9 must solve to its (tiny)
+    /// optimum — the relative cutoff must not misfire on round-off.
+    #[test]
+    fn tiny_scaled_feasible_model_solves() {
+        let s = 1e-9;
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(x + y);
+        m.add_constraint(x + y, cmp::EQ, 4.0 * s);
+        m.add_constraint(x - y, cmp::GE, s);
+        let v = solve_model(&m).unwrap();
+        assert!((v[0] + v[1] - 4.0 * s).abs() < 1e-6 * s, "{v:?}");
+        assert!(v[0] - v[1] >= s * (1.0 - 1e-6), "{v:?}");
+    }
+
+    /// `SolverOptions::update` reaches the kernel: under Forrest–Tomlin
+    /// the eta file stays empty and updates are counted (with the same
+    /// optimum); under the product form no FT update ever runs.
+    #[test]
+    fn update_kind_reaches_the_kernel() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        let z = m.add_continuous("z", 0.0, f64::INFINITY);
+        m.set_objective(2.0 * x + 3.0 * y + z);
+        m.add_constraint(x + y + z, cmp::GE, 6.0);
+        m.add_constraint(x + 2.0 * y, cmp::GE, 4.0);
+        m.add_constraint(y + 3.0 * z, cmp::GE, 5.0);
+        let bf = BoxedForm::build(&m);
+        let run = |update: crate::model::UpdateKind| {
+            let opts = SolverOptions {
+                update,
+                ..Default::default()
+            };
+            let mut k = Revised::new(&bf, &opts);
+            let mut budget = opts.max_pivots;
+            k.solve_two_phase(&opts, &mut budget).unwrap();
+            let v = bf.sf.recover(&k.values());
+            (2.0 * v[0] + 3.0 * v[1] + v[2], k.factor_stats)
+        };
+        let (obj_ft, stats_ft) = run(UpdateKind::ForrestTomlin);
+        let (obj_pf, stats_pf) = run(UpdateKind::ProductForm);
+        assert!((obj_ft - obj_pf).abs() < 1e-9, "{obj_ft} vs {obj_pf}");
+        assert!(stats_ft.ft_updates > 0, "FT mode never updated the factors");
+        assert_eq!(stats_pf.ft_updates, 0, "product form ran FT updates");
+        assert!(stats_ft.peak_u_nnz > 0);
     }
 
     #[test]

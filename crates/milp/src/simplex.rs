@@ -338,7 +338,11 @@ pub(crate) fn solve(
         let cj = if j < n { sf.cost[j] } else { 0.0 };
         let mut z = 0.0;
         for r in 0..m {
-            let cb = if t.basis[r] < n { sf.cost[t.basis[r]] } else { 0.0 };
+            let cb = if t.basis[r] < n {
+                sf.cost[t.basis[r]]
+            } else {
+                0.0
+            };
             if cb != 0.0 {
                 z += cb * t.row(r)[j];
             }
@@ -348,7 +352,11 @@ pub(crate) fn solve(
     {
         let mut z = 0.0;
         for r in 0..m {
-            let cb = if t.basis[r] < n { sf.cost[t.basis[r]] } else { 0.0 };
+            let cb = if t.basis[r] < n {
+                sf.cost[t.basis[r]]
+            } else {
+                0.0
+            };
             if cb != 0.0 {
                 z += cb * t.rhs(r);
             }

@@ -2,7 +2,9 @@
 //! structured problem families with known optima, warm-start behaviour,
 //! priorities, and limit semantics.
 
-use rr_milp::{cmp, solve_with_stats, Kernel, LinExpr, Model, Sense, SolveError, SolverOptions, Status};
+use rr_milp::{
+    cmp, solve_with_stats, Kernel, LinExpr, Model, Sense, SolveError, SolverOptions, Status,
+};
 
 /// max Σx_i over a cube cut by one diagonal plane — LP corner is
 /// fractional, integer optimum known.

@@ -132,12 +132,7 @@ pub fn feasible_retiming(g: &Rrg, c: f64) -> Option<Vec<i64>> {
     feasible_with_wd(g, &w, &d, c)
 }
 
-fn feasible_with_wd(
-    g: &Rrg,
-    w: &[Vec<Option<i64>>],
-    d: &[Vec<f64>],
-    c: f64,
-) -> Option<Vec<i64>> {
+fn feasible_with_wd(g: &Rrg, w: &[Vec<Option<i64>>], d: &[Vec<f64>], c: f64) -> Option<Vec<i64>> {
     let n = g.num_nodes();
     // Difference constraints r(u) − r(v) ≤ b become edges v→u of weight b.
     let mut cons: Vec<(usize, usize, i64)> = Vec::new();

@@ -138,20 +138,14 @@ pub fn find_dead_cycle(g: &Rrg) -> Option<Vec<EdgeId>> {
 /// Built on [`find_nonpositive_cycle_with`] via the transformation
 /// `u(e) = (|E|+1)·w(e) + 1`: a cycle of length `ℓ ≤ |E|` has
 /// `Σu = (|E|+1)·Σw + ℓ`, which is ≤ 0 exactly when `Σw ≤ −1`.
-pub fn find_negative_cycle_with(
-    g: &Rrg,
-    weight: impl Fn(EdgeId) -> i64,
-) -> Option<Vec<EdgeId>> {
+pub fn find_negative_cycle_with(g: &Rrg, weight: impl Fn(EdgeId) -> i64) -> Option<Vec<EdgeId>> {
     let scale = g.num_edges() as i64 + 1;
     find_nonpositive_cycle_with(g, |e| scale * weight(e) + 1)
 }
 
 /// Generalisation of [`find_dead_cycle`] to arbitrary per-edge integer
 /// weights: finds a cycle with `Σ weight ≤ 0`, if any.
-pub fn find_nonpositive_cycle_with(
-    g: &Rrg,
-    weight: impl Fn(EdgeId) -> i64,
-) -> Option<Vec<EdgeId>> {
+pub fn find_nonpositive_cycle_with(g: &Rrg, weight: impl Fn(EdgeId) -> i64) -> Option<Vec<EdgeId>> {
     let n = g.num_nodes();
     if n == 0 {
         return None;

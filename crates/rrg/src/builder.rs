@@ -65,7 +65,13 @@ impl RrgBuilder {
     ///
     /// `R ≥ max(R0, 0)` is checked at [`build`](RrgBuilder::build) time so
     /// intermediate states may be inconsistent.
-    pub fn add_edge(&mut self, source: NodeId, target: NodeId, tokens: i64, buffers: i64) -> EdgeId {
+    pub fn add_edge(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        tokens: i64,
+        buffers: i64,
+    ) -> EdgeId {
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge {
             source,
@@ -218,10 +224,7 @@ mod tests {
         b.add_edge(f, m, 1, 1);
         b.add_edge(m, f, 1, 1);
         b.set_gamma(top, 0.5);
-        assert!(matches!(
-            b.build(),
-            Err(ValidateError::MissingGamma { .. })
-        ));
+        assert!(matches!(b.build(), Err(ValidateError::MissingGamma { .. })));
     }
 
     #[test]

@@ -219,8 +219,14 @@ mod tests {
         c.validate(&g).unwrap();
         let retimed = c.apply(&g).unwrap();
         let expect = figures::figure_2(0.9);
-        let got: Vec<(i64, i64)> = retimed.edges().map(|(_, e)| (e.tokens(), e.buffers())).collect();
-        let want: Vec<(i64, i64)> = expect.edges().map(|(_, e)| (e.tokens(), e.buffers())).collect();
+        let got: Vec<(i64, i64)> = retimed
+            .edges()
+            .map(|(_, e)| (e.tokens(), e.buffers()))
+            .collect();
+        let want: Vec<(i64, i64)> = expect
+            .edges()
+            .map(|(_, e)| (e.tokens(), e.buffers()))
+            .collect();
         assert_eq!(got, want);
     }
 

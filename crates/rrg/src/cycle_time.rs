@@ -86,7 +86,11 @@ pub fn critical_path(g: &Rrg) -> Result<CriticalPath, CycleTimeError> {
 ///
 /// Panics if `buffers.len() != g.num_edges()`.
 pub fn critical_path_with(g: &Rrg, buffers: &[i64]) -> Result<CriticalPath, CycleTimeError> {
-    assert_eq!(buffers.len(), g.num_edges(), "buffer vector length mismatch");
+    assert_eq!(
+        buffers.len(),
+        g.num_edges(),
+        "buffer vector length mismatch"
+    );
     let order = algo::combinational_topo_order(g, buffers)
         .map_err(|edge| CycleTimeError::CombinationalCycle { edge })?;
 

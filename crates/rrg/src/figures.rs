@@ -145,7 +145,8 @@ pub fn figure_1b_pipeline(lens: &[usize], alpha: f64) -> Rrg {
         b.set_gamma(top, alpha);
         b.set_gamma(bottom, 1.0 - alpha);
     }
-    b.build().expect("pipeline graphs are valid by construction")
+    b.build()
+        .expect("pipeline graphs are valid by construction")
 }
 
 /// Closed-form throughput of Figure 2 derived from its Markov chain in the
@@ -164,8 +165,7 @@ mod tests {
         //  the top cycle and to one (3 − 2) for the bottom cycle"
         for g in [figure_1a(0.5), figure_1b(0.5), figure_2(0.5)] {
             let t = |e: crate::EdgeId| g.edge(e).tokens();
-            let shared =
-                t(edge::M_F1) + t(edge::F1_F2) + t(edge::F2_F3) + t(edge::F3_F);
+            let shared = t(edge::M_F1) + t(edge::F1_F2) + t(edge::F2_F3) + t(edge::F3_F);
             assert_eq!(shared + t(edge::TOP), 4, "top cycle sum");
             assert_eq!(shared + t(edge::BOTTOM), 1, "bottom cycle sum");
         }

@@ -75,18 +75,14 @@ impl GeneratorParams {
         //    connectivity by construction.
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut edge_list: Vec<(usize, usize)> = (0..n)
-            .map(|i| (order[i], order[(i + 1) % n]))
-            .collect();
+        let mut edge_list: Vec<(usize, usize)> =
+            (0..n).map(|i| (order[i], order[(i + 1) % n])).collect();
 
         // 2. Choose the early nodes and give them a second input first so
         //    the requested |N2| is always achievable.
         let mut candidates: Vec<usize> = (0..n).collect();
         candidates.shuffle(&mut rng);
-        let early: Vec<usize> = candidates
-            .into_iter()
-            .take(self.early_nodes)
-            .collect();
+        let early: Vec<usize> = candidates.into_iter().take(self.early_nodes).collect();
         let mut extra = self.edges - n;
         let mut is_early = vec![false; n];
         for &e in &early {
@@ -221,11 +217,20 @@ mod tests {
         let p = GeneratorParams::paper_defaults(10, 2, 25);
         let a = p.generate(7);
         let b = p.generate(7);
-        let ea: Vec<_> = a.edges().map(|(_, e)| (e.source(), e.target(), e.tokens())).collect();
-        let eb: Vec<_> = b.edges().map(|(_, e)| (e.source(), e.target(), e.tokens())).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .map(|(_, e)| (e.source(), e.target(), e.tokens()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|(_, e)| (e.source(), e.target(), e.tokens()))
+            .collect();
         assert_eq!(ea, eb);
         let c = p.generate(8);
-        let ec: Vec<_> = c.edges().map(|(_, e)| (e.source(), e.target(), e.tokens())).collect();
+        let ec: Vec<_> = c
+            .edges()
+            .map(|(_, e)| (e.source(), e.target(), e.tokens()))
+            .collect();
         assert_ne!(ea, ec, "different seeds should differ");
     }
 

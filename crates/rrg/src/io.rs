@@ -202,7 +202,11 @@ mod tests {
 
     #[test]
     fn round_trips_the_figures() {
-        for g in [figures::figure_1a(0.5), figures::figure_1b(0.9), figures::figure_2(0.25)] {
+        for g in [
+            figures::figure_1a(0.5),
+            figures::figure_1b(0.9),
+            figures::figure_2(0.25),
+        ] {
             let text = to_text(&g);
             let back = from_text(&text).unwrap();
             assert_eq!(back.num_nodes(), g.num_nodes());

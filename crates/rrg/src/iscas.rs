@@ -25,24 +25,114 @@ pub struct IscasProfile {
 
 /// All rows of Table 2, in the paper's order.
 pub const TABLE2: [IscasProfile; 18] = [
-    IscasProfile { name: "s208", simple_nodes: 7, early_nodes: 1, edges: 9 },
-    IscasProfile { name: "s641", simple_nodes: 206, early_nodes: 15, edges: 270 },
-    IscasProfile { name: "s27", simple_nodes: 9, early_nodes: 5, edges: 24 },
-    IscasProfile { name: "s444", simple_nodes: 45, early_nodes: 13, edges: 82 },
-    IscasProfile { name: "s838", simple_nodes: 7, early_nodes: 1, edges: 9 },
-    IscasProfile { name: "s386", simple_nodes: 36, early_nodes: 12, edges: 131 },
-    IscasProfile { name: "s344", simple_nodes: 122, early_nodes: 13, edges: 176 },
-    IscasProfile { name: "s400", simple_nodes: 37, early_nodes: 9, edges: 66 },
-    IscasProfile { name: "s526", simple_nodes: 43, early_nodes: 7, edges: 71 },
-    IscasProfile { name: "s382", simple_nodes: 35, early_nodes: 7, edges: 60 },
-    IscasProfile { name: "s420", simple_nodes: 7, early_nodes: 1, edges: 9 },
-    IscasProfile { name: "s832", simple_nodes: 76, early_nodes: 41, edges: 462 },
-    IscasProfile { name: "s1488", simple_nodes: 85, early_nodes: 48, edges: 572 },
-    IscasProfile { name: "s510", simple_nodes: 63, early_nodes: 40, edges: 407 },
-    IscasProfile { name: "s953", simple_nodes: 232, early_nodes: 36, edges: 371 },
-    IscasProfile { name: "s713", simple_nodes: 229, early_nodes: 27, edges: 341 },
-    IscasProfile { name: "s1494", simple_nodes: 88, early_nodes: 48, edges: 572 },
-    IscasProfile { name: "s820", simple_nodes: 72, early_nodes: 38, edges: 424 },
+    IscasProfile {
+        name: "s208",
+        simple_nodes: 7,
+        early_nodes: 1,
+        edges: 9,
+    },
+    IscasProfile {
+        name: "s641",
+        simple_nodes: 206,
+        early_nodes: 15,
+        edges: 270,
+    },
+    IscasProfile {
+        name: "s27",
+        simple_nodes: 9,
+        early_nodes: 5,
+        edges: 24,
+    },
+    IscasProfile {
+        name: "s444",
+        simple_nodes: 45,
+        early_nodes: 13,
+        edges: 82,
+    },
+    IscasProfile {
+        name: "s838",
+        simple_nodes: 7,
+        early_nodes: 1,
+        edges: 9,
+    },
+    IscasProfile {
+        name: "s386",
+        simple_nodes: 36,
+        early_nodes: 12,
+        edges: 131,
+    },
+    IscasProfile {
+        name: "s344",
+        simple_nodes: 122,
+        early_nodes: 13,
+        edges: 176,
+    },
+    IscasProfile {
+        name: "s400",
+        simple_nodes: 37,
+        early_nodes: 9,
+        edges: 66,
+    },
+    IscasProfile {
+        name: "s526",
+        simple_nodes: 43,
+        early_nodes: 7,
+        edges: 71,
+    },
+    IscasProfile {
+        name: "s382",
+        simple_nodes: 35,
+        early_nodes: 7,
+        edges: 60,
+    },
+    IscasProfile {
+        name: "s420",
+        simple_nodes: 7,
+        early_nodes: 1,
+        edges: 9,
+    },
+    IscasProfile {
+        name: "s832",
+        simple_nodes: 76,
+        early_nodes: 41,
+        edges: 462,
+    },
+    IscasProfile {
+        name: "s1488",
+        simple_nodes: 85,
+        early_nodes: 48,
+        edges: 572,
+    },
+    IscasProfile {
+        name: "s510",
+        simple_nodes: 63,
+        early_nodes: 40,
+        edges: 407,
+    },
+    IscasProfile {
+        name: "s953",
+        simple_nodes: 232,
+        early_nodes: 36,
+        edges: 371,
+    },
+    IscasProfile {
+        name: "s713",
+        simple_nodes: 229,
+        early_nodes: 27,
+        edges: 341,
+    },
+    IscasProfile {
+        name: "s1494",
+        simple_nodes: 88,
+        early_nodes: 48,
+        edges: 572,
+    },
+    IscasProfile {
+        name: "s820",
+        simple_nodes: 72,
+        early_nodes: 38,
+        edges: 424,
+    },
 ];
 
 impl IscasProfile {

@@ -203,10 +203,7 @@ impl Rrg {
 
     /// Looks a node up by name (linear scan).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Maximum combinational delay `β_max` over all nodes (0 for an empty

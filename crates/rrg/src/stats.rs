@@ -55,7 +55,11 @@ pub fn stats(g: &Rrg) -> RrgStats {
         mean_delay,
         max_delay: g.max_delay(),
         max_in_degree: g.node_ids().map(|n| g.in_edges(n).len()).max().unwrap_or(0),
-        max_out_degree: g.node_ids().map(|n| g.out_edges(n).len()).max().unwrap_or(0),
+        max_out_degree: g
+            .node_ids()
+            .map(|n| g.out_edges(n).len())
+            .max()
+            .unwrap_or(0),
         self_loops: g.edges().filter(|(_, e)| e.source() == e.target()).count(),
     }
 }
@@ -110,7 +114,11 @@ mod tests {
         for seed in 0..8 {
             let s = stats(&p.generate(seed));
             assert_eq!(s.early_nodes, 8);
-            assert!(s.mean_delay > 5.0 && s.mean_delay < 15.0, "{}", s.mean_delay);
+            assert!(
+                s.mean_delay > 5.0 && s.mean_delay < 15.0,
+                "{}",
+                s.mean_delay
+            );
             densities.push(s.token_density);
         }
         let avg: f64 = densities.iter().sum::<f64>() / densities.len() as f64;

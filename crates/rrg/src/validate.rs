@@ -12,7 +12,11 @@ pub enum ValidateError {
     /// An edge references a node that does not exist.
     DanglingEndpoint { edge: EdgeId },
     /// `R(e) < max(R0(e), 0)`: more tokens than buffers.
-    BuffersBelowTokens { edge: EdgeId, tokens: i64, buffers: i64 },
+    BuffersBelowTokens {
+        edge: EdgeId,
+        tokens: i64,
+        buffers: i64,
+    },
     /// Negative buffer count.
     NegativeBuffers { edge: EdgeId, buffers: i64 },
     /// A directed cycle whose token sum is ≤ 0 (deadlock).
@@ -37,7 +41,11 @@ impl fmt::Display for ValidateError {
             ValidateError::DanglingEndpoint { edge } => {
                 write!(f, "edge {edge} references a missing node")
             }
-            ValidateError::BuffersBelowTokens { edge, tokens, buffers } => write!(
+            ValidateError::BuffersBelowTokens {
+                edge,
+                tokens,
+                buffers,
+            } => write!(
                 f,
                 "edge {edge} holds {tokens} tokens in only {buffers} buffers"
             ),

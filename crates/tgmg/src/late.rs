@@ -48,9 +48,8 @@ pub fn min_cycle_ratio(g: &Rrg, tokens: &[i64], buffers: &[i64]) -> f64 {
     let mut lo = 0.0f64;
     let mut hi = 2.0f64;
     // exists cycle with Σ(R0 − λR) < 0  ⇔  MCR < λ
-    let below = |lambda: f64| {
-        has_negative_cycle(g, |e| tokens[e] as f64 - lambda * buffers[e] as f64)
-    };
+    let below =
+        |lambda: f64| has_negative_cycle(g, |e| tokens[e] as f64 - lambda * buffers[e] as f64);
     if !below(hi) {
         // All cycles have ratio ≥ 2 — only possible without valid R≥R0;
         // treat as capped.

@@ -40,10 +40,7 @@ pub fn throughput_upper_bound(t: &Tgmg) -> Result<f64, SolveError> {
 /// # Errors
 ///
 /// See [`throughput_upper_bound`].
-pub fn throughput_upper_bound_with(
-    t: &Tgmg,
-    opts: &SolverOptions,
-) -> Result<f64, SolveError> {
+pub fn throughput_upper_bound_with(t: &Tgmg, opts: &SolverOptions) -> Result<f64, SolveError> {
     throughput_upper_bound_counted(t, opts).map(|(b, _)| b)
 }
 
@@ -123,15 +120,11 @@ mod tests {
 
     #[test]
     fn early_evaluation_raises_the_bound() {
-        let late = throughput_upper_bound(&tgmg_of(
-            &figures::figure_1b(0.9).with_late_evaluation(),
-        ))
-        .unwrap();
+        let late =
+            throughput_upper_bound(&tgmg_of(&figures::figure_1b(0.9).with_late_evaluation()))
+                .unwrap();
         let early = throughput_upper_bound(&tgmg_of(&figures::figure_1b(0.9))).unwrap();
-        assert!(
-            early > late + 0.1,
-            "early {early} should beat late {late}"
-        );
+        assert!(early > late + 0.1, "early {early} should beat late {late}");
         assert!(early <= 1.0 + 1e-6);
     }
 

@@ -150,7 +150,12 @@ pub fn simulate(t: &Tgmg, params: &SimParams) -> Result<SimResult, SimError> {
     let mut warmup_time: Option<u64> = None;
     // Upper bound on firings per instant: every firing consumes a token
     // from each input; total positive marking bounds the cascade.
-    let cascade_limit: u64 = 1_000 + 4 * t.edges.iter().map(|e| e.marking.unsigned_abs()).sum::<u64>()
+    let cascade_limit: u64 = 1_000
+        + 4 * t
+            .edges
+            .iter()
+            .map(|e| e.marking.unsigned_abs())
+            .sum::<u64>()
         + 4 * t.num_nodes() as u64;
 
     let mut now: u64 = 0;
@@ -164,13 +169,11 @@ pub fn simulate(t: &Tgmg, params: &SimParams) -> Result<SimResult, SimError> {
                 loop {
                     let enabled = match t.nodes[v].kind {
                         NodeKind::Simple => {
-                            !t.pred[v].is_empty()
-                                && t.pred[v].iter().all(|&e| marking[e] > 0)
+                            !t.pred[v].is_empty() && t.pred[v].iter().all(|&e| marking[e] > 0)
                         }
                         NodeKind::EarlyEval => {
-                            let sel = *selection[v].get_or_insert_with(|| {
-                                draw_guard(t, v, &mut rng)
-                            });
+                            let sel =
+                                *selection[v].get_or_insert_with(|| draw_guard(t, v, &mut rng));
                             marking[sel] > 0
                         }
                     };
@@ -320,12 +323,30 @@ mod tests {
         // Two nodes in a token-free cycle.
         let t = Tgmg::new(
             vec![
-                TgmgNode { name: "a".into(), kind: NodeKind::Simple, delay: 1.0 },
-                TgmgNode { name: "b".into(), kind: NodeKind::Simple, delay: 1.0 },
+                TgmgNode {
+                    name: "a".into(),
+                    kind: NodeKind::Simple,
+                    delay: 1.0,
+                },
+                TgmgNode {
+                    name: "b".into(),
+                    kind: NodeKind::Simple,
+                    delay: 1.0,
+                },
             ],
             vec![
-                TgmgEdge { from: 0, to: 1, marking: 0, gamma: None },
-                TgmgEdge { from: 1, to: 0, marking: 0, gamma: None },
+                TgmgEdge {
+                    from: 0,
+                    to: 1,
+                    marking: 0,
+                    gamma: None,
+                },
+                TgmgEdge {
+                    from: 1,
+                    to: 0,
+                    marking: 0,
+                    gamma: None,
+                },
             ],
         );
         assert!(matches!(
@@ -339,8 +360,17 @@ mod tests {
         use crate::gmg::{Tgmg, TgmgEdge, TgmgNode};
         use rr_rrg::NodeKind;
         let t = Tgmg::new(
-            vec![TgmgNode { name: "a".into(), kind: NodeKind::Simple, delay: 0.5 }],
-            vec![TgmgEdge { from: 0, to: 0, marking: 1, gamma: None }],
+            vec![TgmgNode {
+                name: "a".into(),
+                kind: NodeKind::Simple,
+                delay: 0.5,
+            }],
+            vec![TgmgEdge {
+                from: 0,
+                to: 0,
+                marking: 1,
+                gamma: None,
+            }],
         );
         assert!(matches!(
             simulate(&t, &SimParams::fast(1)),

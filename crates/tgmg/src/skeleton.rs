@@ -293,9 +293,7 @@ impl TgmgSkeleton {
             out_edge[e.from] = i;
         }
         let mut eliminable: Vec<bool> = (0..n)
-            .map(|w| {
-                self.nodes[w].kind == NodeKind::Simple && indeg[w] == 1 && outdeg[w] == 1
-            })
+            .map(|w| self.nodes[w].kind == NodeKind::Simple && indeg[w] == 1 && outdeg[w] == 1)
             .collect();
         // A cycle made up *entirely* of eliminable nodes (a plain ring of
         // pass-through stages) would otherwise vanish together with its
@@ -422,11 +420,7 @@ mod tests {
     fn guard_probabilities_land_on_splitter_edges() {
         let g = figures::figure_1b(0.9);
         let t = tgmg_of(&g);
-        let gammas: Vec<f64> = t
-            .edges
-            .iter()
-            .filter_map(|e| e.gamma)
-            .collect();
+        let gammas: Vec<f64> = t.edges.iter().filter_map(|e| e.gamma).collect();
         assert_eq!(gammas.len(), 2);
         let sum: f64 = gammas.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);

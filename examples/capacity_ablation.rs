@@ -42,7 +42,10 @@ fn measure(name: &str, g: &Rrg) {
 fn main() {
     println!("throughput under per-EB capacity k vs the footnote-1 idealisation\n");
     for &alpha in &[0.5, 0.9] {
-        measure(&format!("figure 1(b) α={alpha}"), &figures::figure_1b(alpha));
+        measure(
+            &format!("figure 1(b) α={alpha}"),
+            &figures::figure_1b(alpha),
+        );
         measure(&format!("figure 2    α={alpha}"), &figures::figure_2(alpha));
     }
     for seed in 0..4 {

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Θ upper bound (LP)        = {bound:.4}");
     println!("  Θ measured (machine sim)  = {:.4}", machine.throughput);
     println!("  Θ exact (Markov chain)    = {:.4}", markov.throughput);
-    println!("  effective cycle time ξ    = {:.3}", tau / markov.throughput);
+    println!(
+        "  effective cycle time ξ    = {:.3}",
+        tau / markov.throughput
+    );
 
     // 3. Optimize: retiming + recycling with early evaluation.
     let out = min_eff_cyc(&rrg, &CoreOptions::default())?;

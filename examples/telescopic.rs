@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = simulate(&g, &MachineParams::default())?.throughput;
     println!(
         "{:<14} {:>10.2} {:>10.4} {:>10.3} {:>11.1}%",
-        "oracle", tau, oracle, tau / oracle, 0.0
+        "oracle",
+        tau,
+        oracle,
+        tau / oracle,
+        0.0
     );
 
     for (p, extra) in [(0.95, 1u64), (0.8, 1), (0.8, 3)] {

@@ -85,7 +85,9 @@ fn config_round_trip_through_all_representations() {
     // Config → applied graph → machine; Config → skeleton instantiation →
     // TGMG sim. Same physical system, same throughput.
     let applied = cfg.apply(&g).unwrap();
-    let a = machine_sim(&applied, &MachineParams::fast(1)).unwrap().throughput;
+    let a = machine_sim(&applied, &MachineParams::fast(1))
+        .unwrap()
+        .throughput;
     let t = rr_tgmg::skeleton::TgmgSkeleton::of(&g).instantiate(&cfg.tokens, &cfg.buffers);
     let b = rr_tgmg::sim::simulate(&t, &rr_tgmg::sim::SimParams::fast(2))
         .unwrap()

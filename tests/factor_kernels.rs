@@ -75,7 +75,10 @@ fn factor_kinds_agree_on_max_thr_at_bench_options() {
     dense_opts.solver.factor = FactorKind::Dense;
     let sparse = formulation::max_thr(&g, tau, &sparse_opts).expect("sparse MAX_THR solves");
     let dense = formulation::max_thr(&g, tau, &dense_opts).expect("dense MAX_THR solves");
-    assert_eq!(sparse.proven_optimal, dense.proven_optimal, "verdicts diverge");
+    assert_eq!(
+        sparse.proven_optimal, dense.proven_optimal,
+        "verdicts diverge"
+    );
     assert!(
         (sparse.objective - dense.objective).abs() < 1e-7,
         "sparse {} vs dense {}",

@@ -42,10 +42,19 @@ fn four_oracles_agree_on_the_figures() {
             .unwrap()
             .throughput;
         let bound = lp_bound::throughput_upper_bound(&tgmg_of(&g)).unwrap();
-        assert!((markov - expected).abs() < 1e-3, "markov {markov} vs {expected}");
-        assert!((machine - markov).abs() < 0.02, "machine {machine} vs {markov}");
+        assert!(
+            (markov - expected).abs() < 1e-3,
+            "markov {markov} vs {expected}"
+        );
+        assert!(
+            (machine - markov).abs() < 0.02,
+            "machine {machine} vs {markov}"
+        );
         assert!((tgmg - markov).abs() < 0.02, "tgmg {tgmg} vs {markov}");
-        assert!(bound >= markov - 1e-6, "LP bound {bound} below exact {markov}");
+        assert!(
+            bound >= markov - 1e-6,
+            "LP bound {bound} below exact {markov}"
+        );
     }
 }
 

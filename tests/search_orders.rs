@@ -17,7 +17,10 @@
 
 use rr_bench::milp_bench_instance as bench_instance;
 use rr_core::{formulation, CoreOptions};
-use rr_milp::{cmp, solve_with_stats, FactorKind, LinExpr, Model, NodeOrder, Sense, SolverOptions, Status};
+use rr_milp::{
+    cmp, solve_with_stats, FactorKind, LinExpr, Model, NodeOrder, Sense, SolverOptions, Status,
+    UpdateKind,
+};
 use rr_rrg::figures;
 use rr_rrg::Rrg;
 
@@ -62,15 +65,32 @@ fn ring_difference_milp(n: usize, rows: usize) -> Model {
 
 /// Golden regression of the refactor itself, instance 1: the exact
 /// search trajectory of the pre-refactor `WarmSearch` on the ring MILP
-/// (captured at commit 6387b77, default options).
+/// (captured at commit 6387b77, default options of that era — which
+/// means the **product-form** eta update, pinned explicitly now that
+/// Forrest–Tomlin is the default; the FT path is covered by its own
+/// A/B agreement suites).
 #[test]
 fn dfs_reproduces_pre_refactor_trajectory_on_ring_milp() {
     let m = ring_difference_milp(12, 6);
-    let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+    let opts = SolverOptions {
+        update: UpdateKind::ProductForm,
+        ..SolverOptions::default()
+    };
+    let (sol, stats) = solve_with_stats(&m, &opts).unwrap();
     assert_eq!(sol.status, Status::Optimal);
-    assert!((sol.objective - 50.0).abs() < 1e-12, "obj {}", sol.objective);
-    assert_eq!(stats.nodes, 79, "node count drifted from pre-refactor golden");
-    assert_eq!(stats.simplex_iters, 135, "pivot count drifted from pre-refactor golden");
+    assert!(
+        (sol.objective - 50.0).abs() < 1e-12,
+        "obj {}",
+        sol.objective
+    );
+    assert_eq!(
+        stats.nodes, 79,
+        "node count drifted from pre-refactor golden"
+    );
+    assert_eq!(
+        stats.simplex_iters, 135,
+        "pivot count drifted from pre-refactor golden"
+    );
     assert_eq!(stats.warm_solves, 78);
     assert_eq!(stats.cold_solves, 1);
     assert!(!stats.truncated);
@@ -85,23 +105,27 @@ fn dfs_reproduces_pre_refactor_trajectory_on_ring_milp() {
 
 /// Golden regression, instance 2: the 20-edge `MAX_THR` bench instance
 /// at `CoreOptions::fast()` sans wall clock (node cap 2000) — a
-/// hint-seeded, budget-truncated search (captured at commit 6387b77).
+/// hint-seeded, budget-truncated search (captured at commit 6387b77,
+/// product-form update pinned as in instance 1).
 #[test]
 fn dfs_reproduces_pre_refactor_trajectory_on_bench20_max_thr() {
     let g = bench_instance(20);
-    let out = formulation::max_thr(
-        &g,
-        g.max_delay(),
-        &capped(NodeOrder::DfsNearerFirst, 2000, FactorKind::Sparse),
-    )
-    .unwrap();
+    let mut opts = capped(NodeOrder::DfsNearerFirst, 2000, FactorKind::Sparse);
+    opts.solver.update = UpdateKind::ProductForm;
+    let out = formulation::max_thr(&g, g.max_delay(), &opts).unwrap();
     assert!(
         (out.objective - 6.497_501_818_546_008_5).abs() < 1e-12,
         "obj {}",
         out.objective
     );
-    assert_eq!(out.stats.nodes, 2000, "node count drifted from pre-refactor golden");
-    assert_eq!(out.stats.simplex_iters, 5969, "pivot count drifted from pre-refactor golden");
+    assert_eq!(
+        out.stats.nodes, 2000,
+        "node count drifted from pre-refactor golden"
+    );
+    assert_eq!(
+        out.stats.simplex_iters, 5969,
+        "pivot count drifted from pre-refactor golden"
+    );
     assert_eq!(out.stats.warm_solves, 1999);
     assert_eq!(out.stats.cold_solves, 1);
     assert!(out.stats.truncated);
@@ -129,7 +153,10 @@ fn best_bound_escapes_the_dfs_plateau_on_the_40_edge_bench() {
         &capped(NodeOrder::DfsNearerFirst, cap, FactorKind::Dense),
     )
     .unwrap();
-    assert!(dfs.stats.truncated, "DFS unexpectedly completed; raise the cap");
+    assert!(
+        dfs.stats.truncated,
+        "DFS unexpectedly completed; raise the cap"
+    );
     assert!(
         (dfs.objective - 4.0).abs() < 1e-6,
         "DFS plateau moved: objective {} (golden 4.0)",
@@ -186,8 +213,14 @@ fn orderings_prove_identical_optima_on_table1_instances() {
                 .unwrap_or_else(|e| panic!("{name}/{problem} DFS failed: {e}"));
             let bb = solve(NodeOrder::BestBound)
                 .unwrap_or_else(|e| panic!("{name}/{problem} best-bound failed: {e}"));
-            assert!(dfs.proven_optimal, "{name}/{problem}: DFS did not prove optimality");
-            assert!(bb.proven_optimal, "{name}/{problem}: best-bound did not prove optimality");
+            assert!(
+                dfs.proven_optimal,
+                "{name}/{problem}: DFS did not prove optimality"
+            );
+            assert!(
+                bb.proven_optimal,
+                "{name}/{problem}: best-bound did not prove optimality"
+            );
             assert!(
                 (dfs.objective - bb.objective).abs() < 1e-7,
                 "{name}/{problem}: DFS {} vs best-bound {}",
@@ -202,8 +235,14 @@ fn orderings_prove_identical_optima_on_table1_instances() {
             .unwrap_or_else(|e| panic!("bench{edges} DFS failed: {e}"));
         let bb = formulation::min_cyc(&g, 1.0, &opts_for(NodeOrder::BestBound))
             .unwrap_or_else(|e| panic!("bench{edges} best-bound failed: {e}"));
-        assert!(dfs.proven_optimal, "bench{edges}: DFS did not prove optimality");
-        assert!(bb.proven_optimal, "bench{edges}: best-bound did not prove optimality");
+        assert!(
+            dfs.proven_optimal,
+            "bench{edges}: DFS did not prove optimality"
+        );
+        assert!(
+            bb.proven_optimal,
+            "bench{edges}: best-bound did not prove optimality"
+        );
         assert!(
             (dfs.objective - bb.objective).abs() < 1e-7,
             "bench{edges}: DFS {} vs best-bound {}",
@@ -226,7 +265,10 @@ fn truncated_solves_surface_feasible_verdicts_in_reports() {
         &capped(NodeOrder::DfsNearerFirst, 50, FactorKind::Sparse),
     )
     .unwrap();
-    assert!(!out.proven_optimal, "a 50-node cap cannot prove this optimum");
+    assert!(
+        !out.proven_optimal,
+        "a 50-node cap cannot prove this optimum"
+    );
     assert!(out.truncated(), "OptOutcome must surface the truncation");
     assert!(out.stats.truncated);
 

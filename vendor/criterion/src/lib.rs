@@ -120,7 +120,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` against a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -130,7 +135,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks a closure with no external input.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         let report = run_bench(self.sample_size, self.budget, |b| f(b));
         report.print(&self.name, &id.to_string(), self.throughput);
         self

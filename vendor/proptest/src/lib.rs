@@ -282,12 +282,12 @@ pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
 }
 
 pub mod prelude {
+    /// Upstream-compatible alias so `prop::sample::Index` etc. resolve.
+    pub use crate as prop;
     pub use crate::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
-    /// Upstream-compatible alias so `prop::sample::Index` etc. resolve.
-    pub use crate as prop;
 }
 
 /// Asserts a property-test condition, panicking with the formatted
