@@ -69,6 +69,7 @@ fn params(capacity: Capacity, solver: StationarySolver) -> MarkovParams {
         max_states: 500_000,
         max_exact_solve: 500_000,
         solver,
+        faults: None,
     }
 }
 

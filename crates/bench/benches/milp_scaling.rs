@@ -28,7 +28,7 @@ use std::time::Instant;
 use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::milp_bench_instance as instance;
 use rr_core::{formulation, CoreOptions};
-use rr_milp::{FactorKind, Kernel, NodeOrder, UpdateKind};
+use rr_milp::{FactorKind, FaultPlan, Kernel, NodeOrder, RecoveryStats, UpdateKind};
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
 
@@ -495,10 +495,135 @@ fn kernel_comparison(_c: &mut Criterion) {
     );
 }
 
+/// One fault-ladder measurement of `MIN_CYC(1)`: wall time, objective,
+/// truncation flag and the full recovery-counter block, all appended to
+/// `BENCH_milp.json` so the ladder's activity is tracked across PRs.
+/// (`MIN_CYC` rather than `MAX_THR` because the bench instances complete
+/// it within the node cap — completed twins must agree *exactly*,
+/// whereas truncated twins may legitimately hold different incumbents.)
+struct FaultMeasurement {
+    record: JsonRecord,
+    wall_ms: f64,
+    objective: f64,
+    truncated: bool,
+    recovery: RecoveryStats,
+}
+
+fn measure_faults(g: &Rrg, edges: usize, faults: Option<FaultPlan>, seed: u64) -> FaultMeasurement {
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = None; // deterministic: node cap only
+    opts.solver.max_nodes = 20_000;
+    opts.solver.gap_tol = 1e-9;
+    let variant = if faults.is_some() { "faulted" } else { "clean" };
+    opts.solver.faults = faults;
+    let t0 = Instant::now();
+    let out = formulation::min_cyc(g, 1.0, &opts).expect("MIN_CYC solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let r = &out.stats.recovery;
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "min_cyc_faults")
+        .int("edges", edges as u64)
+        .str("variant", variant)
+        .int("seed", seed)
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("truncated", u64::from(out.stats.truncated))
+        .int("faults_injected", r.faults_injected as u64)
+        .int("unstable_updates", r.unstable_updates as u64)
+        .int("singular_refactors", r.singular_refactors as u64)
+        .int("cycling_suspected", r.cycling_suspected as u64)
+        .int("residual_drift", r.residual_drift as u64)
+        .int("pivot_budget", r.pivot_budget as u64)
+        .int("time_budget", r.time_budget as u64)
+        .int("ft_retries", r.ft_retries as u64)
+        .int("recovery_forced_refactors", r.forced_refactors as u64)
+        .int("product_form_switches", r.product_form_switches as u64)
+        .int("cold_rebuilds", r.cold_rebuilds as u64)
+        .int("bland_restarts", r.bland_restarts as u64)
+        .int("dense_oracle_solves", r.dense_oracle_solves as u64);
+    FaultMeasurement {
+        record,
+        wall_ms,
+        objective: out.objective,
+        truncated: out.stats.truncated,
+        recovery: r.clone(),
+    }
+}
+
+/// The self-healing A/B: `MIN_CYC(1)` on every bench instance, clean vs a
+/// fixed-seed fault-injected twin. Records (including every recovery
+/// counter) are written to `BENCH_milp.json` **before** the checks, so a
+/// disagreement fails loudly with the evidence on disk. The contract:
+/// the injected twin proves the same objective and the same completion
+/// verdict as the clean run, the plan actually fires (`faults_injected`
+/// > 0), and `faults: None` stays inert (zero injections).
+fn fault_comparison(_c: &mut Criterion) {
+    let seed: u64 = 0xDAC_2009;
+    let mut records = Vec::new();
+    let mut disagreements: Vec<String> = Vec::new();
+    for &edges in &[20usize, 40] {
+        let g = instance(edges);
+        let clean = measure_faults(&g, edges, None, seed);
+        let faulted = measure_faults(&g, edges, Some(FaultPlan::seeded(seed)), seed);
+        println!(
+            "fault comparison: min_cyc {edges} edges: clean {:.1} ms obj {}{} vs \
+             faulted {:.1} ms obj {}{} ({} faults injected, recovery {:?})",
+            clean.wall_ms,
+            clean.objective,
+            if clean.truncated { " (truncated)" } else { "" },
+            faulted.wall_ms,
+            faulted.objective,
+            if faulted.truncated {
+                " (truncated)"
+            } else {
+                ""
+            },
+            faulted.recovery.faults_injected,
+            faulted.recovery,
+        );
+        records.push(clean.record.clone());
+        records.push(faulted.record.clone());
+        if clean.recovery.faults_injected != 0 {
+            disagreements.push(format!(
+                "min_cyc {edges} edges: clean run reports {} injected faults — \
+                 `faults: None` is not inert",
+                clean.recovery.faults_injected
+            ));
+        }
+        if faulted.recovery.faults_injected == 0 {
+            disagreements.push(format!(
+                "min_cyc {edges} edges: no fault fired — the seeded plan is miscalibrated"
+            ));
+        }
+        if (clean.objective - faulted.objective).abs() > 1e-7 * clean.objective.abs().max(1.0) {
+            disagreements.push(format!(
+                "min_cyc {edges} edges: clean {} vs fault-injected {} — the ladder \
+                 let a corrupted solve change the optimum",
+                clean.objective, faulted.objective
+            ));
+        }
+        if clean.truncated != faulted.truncated {
+            disagreements.push(format!(
+                "min_cyc {edges} edges: completion verdicts diverge under faults \
+                 (clean truncated={}, faulted truncated={})",
+                clean.truncated, faulted.truncated
+            ));
+        }
+    }
+    append(&records);
+    assert!(
+        disagreements.is_empty(),
+        "fault-injection regression (records already in BENCH_milp.json):\n{}",
+        disagreements.join("\n")
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
     targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison,
-        update_comparison
+        update_comparison, fault_comparison
 }
 criterion_main!(benches);

@@ -35,6 +35,12 @@ pub struct MinEffCycOutcome {
     /// single number that tracks how much LP work the whole optimization
     /// cost (recorded by the scaling benches).
     pub total_simplex_iters: usize,
+    /// Human-readable records of solver failures the sweep absorbed
+    /// instead of aborting on (iteration/time limits, numerical
+    /// failures, evaluation errors): the sweep keeps whatever frontier
+    /// it has built and the report renders these alongside it. Empty on
+    /// a clean run; non-empty implies `!all_proven_optimal`.
+    pub incidents: Vec<String>,
 }
 
 impl MinEffCycOutcome {
@@ -91,16 +97,38 @@ impl MinEffCycOutcome {
     }
 }
 
+/// Classifies a sweep-stage failure: budget/numerical/evaluation
+/// failures become recorded incidents (the sweep keeps its partial
+/// frontier); anything else — infeasibility where it is structurally
+/// impossible, malformed configurations — stays a hard error.
+fn sweep_incident(stage: &str, e: &OptError) -> Option<String> {
+    match e {
+        OptError::SolverLimit | OptError::Solver(_) | OptError::Evaluation(_) => {
+            Some(format!("{stage}: {e}"))
+        }
+        _ => None,
+    }
+}
+
 /// Runs the `MIN_EFF_CYC` sweep on `g`.
+///
+/// A solver budget or numerical failure mid-sweep does not abort the
+/// sweep: the stage's failure is recorded in
+/// [`MinEffCycOutcome::incidents`], `all_proven_optimal` is cleared, and
+/// whatever frontier was built so far is returned (the min-delay
+/// retiming anchor guarantees it is never empty when retiming itself
+/// succeeds).
 ///
 /// # Errors
 ///
 /// Propagates MILP failures other than the expected end-of-sweep
-/// infeasibility; see [`OptError`].
+/// infeasibility and the absorbed budget/numerical classes; see
+/// [`OptError`].
 pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptError> {
     let mut evaluations: Vec<RcEvaluation> = Vec::new();
     let mut seen: HashSet<(Vec<i64>, Vec<i64>)> = HashSet::new();
     let mut all_proven = true;
+    let mut incidents: Vec<String> = Vec::new();
     let mut push = |evals: &mut Vec<RcEvaluation>, ev: RcEvaluation| {
         if seen.insert((ev.config.tokens.clone(), ev.config.buffers.clone())) {
             evals.push(ev);
@@ -115,13 +143,34 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
     if let Ok(ls) = rr_retime::min_period_retiming(g) {
         let cfg = ls.config(g);
         if cfg.validate(g).is_ok() {
-            push(&mut evaluations, evaluate_config(g, &cfg, opts)?);
+            match evaluate_config(g, &cfg, opts) {
+                Ok(ev) => push(&mut evaluations, ev),
+                Err(e) => match sweep_incident("evaluate(min-delay anchor)", &e) {
+                    Some(msg) => incidents.push(msg),
+                    None => return Err(e),
+                },
+            }
         }
     }
 
     let mut total_nodes = 0usize;
     let mut total_simplex_iters = 0usize;
-    let mut outcome = max_thr(g, g.max_delay(), opts)?;
+    let mut outcome = match max_thr(g, g.max_delay(), opts) {
+        Ok(o) => o,
+        Err(e) => match sweep_incident("max_thr(beta_max)", &e) {
+            Some(msg) => {
+                incidents.push(msg);
+                return Ok(MinEffCycOutcome {
+                    evaluations,
+                    all_proven_optimal: false,
+                    total_nodes,
+                    total_simplex_iters,
+                    incidents,
+                });
+            }
+            None => return Err(e),
+        },
+    };
     // Aggregate each solve's proof status the moment it returns (the old
     // loop-top aggregation silently dropped the final `MAX_THR` outcome
     // when the iteration bound — rather than the Θ_lp = 1 exit — ended
@@ -135,7 +184,16 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
     let mut target = 0.0f64;
     let max_iters = (1.0 / opts.epsilon) as usize + 4;
     for _ in 0..max_iters {
-        let mut eval = evaluate_config(g, &outcome.config, opts)?;
+        let mut eval = match evaluate_config(g, &outcome.config, opts) {
+            Ok(ev) => ev,
+            Err(e) => match sweep_incident("evaluate(RC)", &e) {
+                Some(msg) => {
+                    incidents.push(msg);
+                    break;
+                }
+                None => return Err(e),
+            },
+        };
         // Per-row provenance: Table 1 marks configurations whose solve
         // hit a budget (Status::Feasible incumbents, like the paper's
         // CPLEX timeouts) instead of presenting them as proven optima.
@@ -149,14 +207,34 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
         let mc = match min_cyc(g, 1.0 / target, opts) {
             Ok(o) => o,
             Err(OptError::Infeasible) => break,
-            Err(e) => return Err(e),
+            Err(e) => match sweep_incident(&format!("min_cyc(1/{target:.4})"), &e) {
+                Some(msg) => {
+                    incidents.push(msg);
+                    break;
+                }
+                None => return Err(e),
+            },
         };
         all_proven &= mc.proven_optimal;
         total_nodes += mc.stats.nodes;
         total_simplex_iters += mc.stats.simplex_iters;
-        let tau = cycle_time::cycle_time_with(g, &mc.config.buffers)
-            .map_err(|e| OptError::Evaluation(e.to_string()))?;
-        outcome = max_thr(g, tau, opts)?;
+        let tau = match cycle_time::cycle_time_with(g, &mc.config.buffers) {
+            Ok(tau) => tau,
+            Err(e) => {
+                incidents.push(format!("cycle_time(MIN_CYC config): {e}"));
+                break;
+            }
+        };
+        outcome = match max_thr(g, tau, opts) {
+            Ok(o) => o,
+            Err(e) => match sweep_incident(&format!("max_thr({tau:.4})"), &e) {
+                Some(msg) => {
+                    incidents.push(msg);
+                    break;
+                }
+                None => return Err(e),
+            },
+        };
         all_proven &= outcome.proven_optimal;
         total_nodes += outcome.stats.nodes;
         total_simplex_iters += outcome.stats.simplex_iters;
@@ -164,9 +242,10 @@ pub fn min_eff_cyc(g: &Rrg, opts: &CoreOptions) -> Result<MinEffCycOutcome, OptE
 
     Ok(MinEffCycOutcome {
         evaluations,
-        all_proven_optimal: all_proven,
+        all_proven_optimal: all_proven && incidents.is_empty(),
         total_nodes,
         total_simplex_iters,
+        incidents,
     })
 }
 
@@ -202,6 +281,24 @@ mod tests {
         // All stored evaluations are mutually non-dominated w.r.t. Θ_lp.
         let nd = pareto::non_dominated_indices(&out.evaluations);
         assert_eq!(nd.len(), out.evaluations.len(), "{:?}", out.evaluations);
+    }
+
+    /// A starved pivot budget fails every MILP solve; the sweep must
+    /// absorb that as recorded incidents — returning whatever frontier
+    /// it built (possibly none) with `all_proven_optimal` cleared —
+    /// instead of propagating the failure and losing the whole row.
+    #[test]
+    fn budget_starved_sweep_records_incidents_instead_of_aborting() {
+        let g = figures::figure_1a(0.9);
+        let mut opts = CoreOptions::fast();
+        opts.solver.max_pivots = 3;
+        opts.solver.max_nodes = 2;
+        let out = min_eff_cyc(&g, &opts).expect("budget starvation must not abort the sweep");
+        assert!(
+            !out.incidents.is_empty(),
+            "starved solves must be recorded: {out:?}"
+        );
+        assert!(!out.all_proven_optimal);
     }
 
     #[test]

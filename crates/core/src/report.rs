@@ -58,6 +58,11 @@ impl fmt::Display for Table1 {
         if let Some(delta) = self.outcome.delta_pct() {
             writeln!(f, "Delta(%) = {delta:.1}")?;
         }
+        // Solver failures the sweep absorbed: rendered with the table so
+        // a partial frontier cannot read as a complete, clean run.
+        for inc in &self.outcome.incidents {
+            writeln!(f, "incident: {inc}")?;
+        }
         Ok(())
     }
 }
@@ -91,6 +96,9 @@ pub struct BenchmarkRow {
     /// Whether all MILP solves were proven optimal (false = some
     /// incumbents came from solver limits, like the paper's timeouts).
     pub proven_optimal: bool,
+    /// Number of solver failures the sweep absorbed instead of aborting
+    /// on (see [`MinEffCycOutcome::incidents`]); 0 on a clean run.
+    pub incidents: usize,
 }
 
 /// Runs the full per-circuit pipeline: ξ*, the LS baseline ξ_nee, the
@@ -138,6 +146,7 @@ pub fn evaluate_benchmark(
         lp_picked_optimum: outcome.best_lp_index() == outcome.best_sim_index(),
         avg_err_pct: avg_err,
         proven_optimal: outcome.all_proven_optimal,
+        incidents: outcome.incidents.len(),
     };
     let table1 = Table1 {
         name: name.to_string(),
@@ -221,7 +230,11 @@ impl fmt::Display for Table2 {
                 r.xi_lp_min,
                 r.xi_sim_min,
                 r.improvement_pct,
-                if r.proven_optimal { "" } else { "  (limit)" },
+                match (r.proven_optimal, r.incidents) {
+                    (true, 0) => String::new(),
+                    (false, 0) => "  (limit)".into(),
+                    (_, n) => format!("  (limit, {n} incidents)"),
+                },
             )?;
         }
         writeln!(f, "---")?;
@@ -301,6 +314,7 @@ mod tests {
                 all_proven_optimal: false,
                 total_nodes: 0,
                 total_simplex_iters: 0,
+                incidents: vec!["max_thr(2.0000): pivot budget".into()],
             },
         };
         let rendered = t.to_string();
@@ -308,6 +322,10 @@ mod tests {
             rendered.matches("(limit)").count(),
             1,
             "exactly the truncated row must be marked:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("incident: max_thr(2.0000): pivot budget"),
+            "absorbed solver failures must be rendered:\n{rendered}"
         );
     }
 
@@ -326,6 +344,7 @@ mod tests {
             lp_picked_optimum: m,
             avg_err_pct: 5.0,
             proven_optimal: true,
+            incidents: 0,
         };
         let t = Table2 {
             rows: vec![mk(10.0, true), mk(20.0, false)],

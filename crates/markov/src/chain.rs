@@ -142,7 +142,7 @@ pub fn build_chain(g: &Rrg, params: &MarkovParams) -> Result<Chain, MarkovError>
     while s < machines.len() {
         let machine = machines[s].clone();
         let undrawn = machine.undrawn_early_nodes();
-        let combos = guard_combinations(g, &undrawn);
+        let combos = guard_combinations(g, &undrawn)?;
         let mut row_mass = 0.0f64;
         for (choice, prob) in combos {
             let mut m = machine.clone();
@@ -185,14 +185,27 @@ pub fn build_chain(g: &Rrg, params: &MarkovParams) -> Result<Chain, MarkovError>
     })
 }
 
+/// One guard draw per undrawn early node, with the joint probability of
+/// the combination.
+type GuardCombo = (Vec<(NodeId, EdgeId)>, f64);
+
 /// Cartesian product of guard choices for the undrawn early nodes, with
 /// the probability of each combination.
-fn guard_combinations(g: &Rrg, undrawn: &[NodeId]) -> Vec<(Vec<(NodeId, EdgeId)>, f64)> {
-    let mut combos: Vec<(Vec<(NodeId, EdgeId)>, f64)> = vec![(Vec::new(), 1.0)];
+///
+/// # Errors
+///
+/// [`MarkovError::MissingGamma`] when an early node's input edge carries
+/// no γ assignment — a structured error rather than a panic, so a
+/// malformed graph fails the analysis instead of the process.
+fn guard_combinations(g: &Rrg, undrawn: &[NodeId]) -> Result<Vec<GuardCombo>, MarkovError> {
+    let mut combos: Vec<GuardCombo> = vec![(Vec::new(), 1.0)];
     for &v in undrawn {
         let mut next = Vec::with_capacity(combos.len() * g.in_edges(v).len());
         for &e in g.in_edges(v) {
-            let p = g.edge(e).gamma().expect("early input without γ");
+            let p = g
+                .edge(e)
+                .gamma()
+                .ok_or(MarkovError::MissingGamma { edge: e.0 })?;
             for (combo, cp) in &combos {
                 let mut c = combo.clone();
                 c.push((v, e));
@@ -206,5 +219,5 @@ fn guard_combinations(g: &Rrg, undrawn: &[NodeId]) -> Vec<(Vec<(NodeId, EdgeId)>
     for (c, _) in &mut combos {
         c.sort_by_key(|&(v, _)| v);
     }
-    combos
+    Ok(combos)
 }

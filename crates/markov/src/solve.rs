@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use crate::chain::Chain;
 use crate::power::power_iteration;
-use crate::{MarkovError, MarkovParams, MarkovResult, StationarySolver};
+use crate::{MarkovError, MarkovParams, MarkovResult, SolveQuality, StationarySolver};
 
 /// Hard cap on the dense oracle: beyond this many recurrent states the
 /// `O(k³)` elimination is hopeless and [`MarkovError::DenseSolveTooLarge`]
@@ -61,8 +61,8 @@ pub fn solve_chain(chain: &Chain, params: &MarkovParams) -> Result<MarkovResult,
     if terminal.len() == 1 && sccs[terminal[0]].len() <= params.max_exact_solve {
         let mut comp = sccs[terminal[0]].clone();
         comp.sort_unstable();
-        let theta = match params.solver {
-            StationarySolver::SparseIterative => stationary_sparse(chain, &comp)?,
+        let (theta, quality) = match params.solver {
+            StationarySolver::SparseIterative => stationary_sparse(chain, &comp, params),
             StationarySolver::DenseGaussJordan => {
                 if comp.len() > DENSE_STATE_CAP {
                     return Err(MarkovError::DenseSolveTooLarge {
@@ -70,14 +70,15 @@ pub fn solve_chain(chain: &Chain, params: &MarkovParams) -> Result<MarkovResult,
                         cap: DENSE_STATE_CAP,
                     });
                 }
-                stationary_dense(chain, &comp)
+                (stationary_dense(chain, &comp), SolveQuality::Direct)
             }
         };
         Ok(MarkovResult {
             throughput: theta,
             states: n,
             recurrent_states: comp.len(),
-            exact: true,
+            exact: quality != SolveQuality::CesaroAverage,
+            quality,
         })
     } else {
         // Multi-terminal or oversized: Cesàro-averaged power iteration
@@ -88,6 +89,7 @@ pub fn solve_chain(chain: &Chain, params: &MarkovParams) -> Result<MarkovResult,
             states: n,
             recurrent_states: terminal.iter().map(|&c| sccs[c].len()).sum(),
             exact: false,
+            quality: SolveQuality::CesaroAverage,
         })
     }
 }
@@ -194,18 +196,17 @@ fn residual(class: &LocalClass, pi: &[f64], scratch: &mut [f64]) -> f64 {
 
 /// Sparse iterative stationary throughput on one terminal class:
 /// Gauss–Seidel with damped-power fallback, stopping on the `‖πP − π‖₁`
-/// residual.
-///
-/// # Errors
-///
-/// [`MarkovError::NoConvergence`] if the residual never reaches the
-/// tolerance within the sweep budget (does not happen for the chains of
-/// well-formed machines; the budget is a safety net, not a tuning knob).
-fn stationary_sparse(chain: &Chain, comp: &[usize]) -> Result<f64, MarkovError> {
+/// residual. Never fails — when both iterative phases exhaust their
+/// budgets the Cesàro average of the damped-power iterates is returned
+/// with [`SolveQuality::CesaroAverage`] (a budget overrun on a
+/// well-formed chain should degrade the answer's pedigree, not destroy
+/// the whole sweep that asked for it).
+fn stationary_sparse(chain: &Chain, comp: &[usize], params: &MarkovParams) -> (f64, SolveQuality) {
+    let faults = params.faults.unwrap_or_default();
     let class = LocalClass::new(chain, comp);
     let k = class.num_states();
     if k == 1 {
-        return Ok(chain.expected_reward(comp[0]));
+        return (chain.expected_reward(comp[0]), SolveQuality::Direct);
     }
     let eps = residual_eps(k);
     let mut pi = vec![1.0 / k as f64; k];
@@ -213,8 +214,9 @@ fn stationary_sparse(chain: &Chain, comp: &[usize]) -> Result<f64, MarkovError> 
 
     // Phase 1: Gauss–Seidel sweeps. π_j ← Σ_{i≠j} π_i p_ij / (1 − p_jj),
     // consuming already-updated entries — typically a few dozen sweeps
-    // even on 10⁵-state classes.
-    let max_sweeps = 10_000usize;
+    // even on 10⁵-state classes. The injected stall reproduces what the
+    // rising-residual detector does on a periodic class.
+    let max_sweeps = if faults.stall_gauss_seidel { 0 } else { 10_000 };
     let mut prev_res = f64::INFINITY;
     let mut rising = 0u32;
     for _ in 0..max_sweeps {
@@ -236,7 +238,10 @@ fn stationary_sparse(chain: &Chain, comp: &[usize]) -> Result<f64, MarkovError> 
         pi.iter_mut().for_each(|x| *x *= inv);
         let res = residual(&class, &pi, &mut scratch);
         if res < eps {
-            return Ok(class_throughput(chain, comp, &pi));
+            return (
+                class_throughput(chain, comp, &pi),
+                SolveQuality::GaussSeidel,
+            );
         }
         rising = if res >= prev_res { rising + 1 } else { 0 };
         prev_res = res;
@@ -247,11 +252,20 @@ fn stationary_sparse(chain: &Chain, comp: &[usize]) -> Result<f64, MarkovError> 
 
     // Phase 2: damped power steps π ← (π + πP)/2. The ½ damping makes the
     // iteration aperiodic, so it converges on any irreducible class; the
-    // residual is read off the same product.
+    // residual is read off the same product. A Cesàro running average of
+    // the iterates is kept alongside: it is the degraded answer should
+    // the budget run out.
     if pi.iter().any(|x| !x.is_finite()) {
         pi.iter_mut().for_each(|x| *x = 1.0 / k as f64);
     }
-    let max_steps = 4_000_000usize;
+    // The injected stall leaves a budget far too small for the residual
+    // tolerance yet big enough to seed a meaningful Cesàro average.
+    let max_steps = if faults.stall_damped_power {
+        16
+    } else {
+        4_000_000
+    };
+    let mut cesaro = vec![0.0f64; k];
     for _ in 0..max_steps {
         class.apply(&pi, &mut scratch);
         let mut res = 0.0f64;
@@ -262,12 +276,33 @@ fn stationary_sparse(chain: &Chain, comp: &[usize]) -> Result<f64, MarkovError> 
             mass += *p;
         }
         let inv = 1.0 / mass;
-        pi.iter_mut().for_each(|x| *x *= inv);
+        for (p, c) in pi.iter_mut().zip(cesaro.iter_mut()) {
+            *p *= inv;
+            *c += *p;
+        }
         if res < eps {
-            return Ok(class_throughput(chain, comp, &pi));
+            return (
+                class_throughput(chain, comp, &pi),
+                SolveQuality::DampedPower,
+            );
         }
     }
-    Err(MarkovError::NoConvergence)
+    // Budget exhausted: degrade to the Cesàro average — the time average
+    // of the damped iterates, which converges (slowly but surely) to the
+    // stationary distribution even when the pointwise iteration crawls.
+    let mass: f64 = cesaro.iter().sum();
+    if mass.is_finite() && mass > 0.0 {
+        let inv = 1.0 / mass;
+        cesaro.iter_mut().for_each(|x| *x *= inv);
+    } else {
+        // Even the average is unusable; report the uniform distribution
+        // rather than NaNs — quality already says "do not trust blindly".
+        cesaro.iter_mut().for_each(|x| *x = 1.0 / k as f64);
+    }
+    (
+        class_throughput(chain, comp, &cesaro),
+        SolveQuality::CesaroAverage,
+    )
 }
 
 /// `Σ_s π(s)·r̄(s)` over the class.

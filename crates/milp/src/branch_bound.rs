@@ -64,7 +64,8 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use crate::expr::VarId;
-use crate::model::{Kernel, Model, NodeOrder, Sense, SolverOptions};
+use crate::model::{FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind};
+use crate::recover::RecoveryStats;
 use crate::revised::{BasisState, Revised};
 use crate::solution::{Solution, SolveError, Status};
 use crate::standard::{BoxedForm, ColMap};
@@ -126,6 +127,10 @@ pub struct BranchBoundStats {
     /// equals `nodes`; best-bound entries discarded unsolved from the
     /// queue do not appear.
     pub node_bounds: Vec<f64>,
+    /// Numerical-event and recovery-ladder counters (see
+    /// [`crate::recover`]; warm path only — the legacy per-node-rebuild
+    /// path reports the default).
+    pub recovery: RecoveryStats,
 }
 
 // ---------------------------------------------------------------------------
@@ -262,6 +267,85 @@ impl WarmBackend<'_> {
             status: Status::Optimal,
         }
     }
+
+    /// The per-node recovery ladder, rungs 3–6 of [`crate::recover`]:
+    /// product-form switch → cold rebuild → Bland-only pricing →
+    /// dense-oracle kernel. Entered after a cold solve failed with a
+    /// retryable error (budget/numerics) or produced a bound the
+    /// residual trust gate refused. Every rung is counted before its
+    /// attempt, re-solves from scratch on a fresh pivot budget, and must
+    /// itself pass the trust gate; `Infeasible`/`Unbounded` from a rung
+    /// is a genuine verdict. On success (or a verdict) the original
+    /// configuration is restored — the next node then cold-starts
+    /// through the ordinary warm-fallback path. Total failure returns
+    /// the error that started the ladder.
+    fn recover_node(
+        &mut self,
+        opts: &SolverOptions,
+        first: SolveError,
+    ) -> Result<Solution, SolveError> {
+        for rung in 0..4u8 {
+            // The ladder must not fight a spent wall clock: each failed
+            // attempt would just re-pay the solve entry check.
+            if self.kernel.out_of_time() {
+                break;
+            }
+            match rung {
+                0 => {
+                    self.kernel.recovery.product_form_switches += 1;
+                    self.kernel.set_update_kind(UpdateKind::ProductForm);
+                }
+                1 => {
+                    self.kernel.recovery.cold_rebuilds += 1;
+                    self.kernel = self.kernel.rebuilt(&self.form, opts);
+                }
+                2 => {
+                    self.kernel.recovery.bland_restarts += 1;
+                    self.kernel.set_force_bland(true);
+                }
+                _ => {
+                    self.kernel.recovery.dense_oracle_solves += 1;
+                    let dense = SolverOptions {
+                        factor: FactorKind::Dense,
+                        update: UpdateKind::ProductForm,
+                        ..opts.clone()
+                    };
+                    self.kernel = self.kernel.rebuilt(&self.form, &dense);
+                }
+            }
+            let mut budget = opts.max_pivots;
+            match self.kernel.solve_two_phase(opts, &mut budget) {
+                Ok(()) => {
+                    if self.kernel.verify_residual(opts) {
+                        // Extract before the restore discards the state.
+                        let sol = self.node_solution();
+                        self.restore_kernel(opts);
+                        return Ok(sol);
+                    }
+                    // Untrustworthy bound: escalate to the next rung.
+                }
+                Err(e @ (SolveError::Infeasible | SolveError::Unbounded)) => {
+                    self.restore_kernel(opts);
+                    return Err(e);
+                }
+                Err(_) => {}
+            }
+        }
+        // Exhausted (or out of time): leave a clean configuration behind
+        // and report the failure that started the ladder.
+        self.restore_kernel(opts);
+        Err(first)
+    }
+
+    /// Restores the pre-ladder configuration: Bland forcing off, a fresh
+    /// kernel under the original options. The fresh kernel has no basis
+    /// yet — [`LpBackend::snapshot`] guards against handing that state
+    /// to children, and the next node solve re-establishes one (warm
+    /// from its parent snapshot, or cold).
+    fn restore_kernel(&mut self, opts: &SolverOptions) {
+        self.kernel.set_force_bland(false);
+        self.kernel = self.kernel.rebuilt(&self.form, opts);
+    }
 }
 
 impl LpBackend for WarmBackend<'_> {
@@ -298,8 +382,13 @@ impl LpBackend for WarmBackend<'_> {
             };
             match outcome {
                 Ok(()) => {
-                    stats.warm_solves += 1;
-                    return Ok(self.node_solution());
+                    // Residual trust gate: a bound computed on drifting
+                    // factors must not prune — fall through to the cold
+                    // path instead (the gate already healed the factors).
+                    if self.kernel.verify_residual(opts) {
+                        stats.warm_solves += 1;
+                        return Ok(self.node_solution());
+                    }
                 }
                 Err(SolveError::Infeasible) => {
                     // A dual-simplex proof of infeasibility concluded
@@ -313,14 +402,28 @@ impl LpBackend for WarmBackend<'_> {
         }
         stats.cold_solves += 1;
         let mut budget = opts.max_pivots;
-        self.kernel.solve_two_phase(opts, &mut budget)?;
-        Ok(self.node_solution())
+        match self.kernel.solve_two_phase(opts, &mut budget) {
+            Ok(()) => {
+                if self.kernel.verify_residual(opts) {
+                    return Ok(self.node_solution());
+                }
+                self.recover_node(
+                    opts,
+                    SolveError::Numerical("residual drift at node bound".into()),
+                )
+            }
+            // Genuine verdicts end the node; retryable failures (budget,
+            // numerics) enter the recovery ladder.
+            Err(e @ (SolveError::Infeasible | SolveError::Unbounded)) => Err(e),
+            Err(first) => self.recover_node(opts, first),
+        }
     }
 
     fn snapshot(&self, opts: &SolverOptions) -> Option<BasisState> {
         // Skipped entirely in the cold A/B configuration, which never
-        // reads it.
-        opts.warm_start.then(|| self.kernel.basis_snapshot())
+        // reads it; also skipped right after a ladder restore, whose
+        // fresh kernel has no basis to hand to children yet.
+        (opts.warm_start && self.kernel.has_basis()).then(|| self.kernel.basis_snapshot())
     }
 
     /// Pin every branchable integer's box to the rounded relaxation
@@ -338,17 +441,20 @@ impl LpBackend for WarmBackend<'_> {
         _stats: &mut BranchBoundStats,
     ) -> Solution {
         // The basis restore below only matters when later solves warm
-        // start in place; cold mode re-crashes every node anyway.
-        let pre_basis = opts.warm_start.then(|| self.kernel.basis_snapshot());
+        // start in place; cold mode re-crashes every node anyway. A
+        // kernel fresh off a ladder restore has no basis to save.
+        let pre_basis =
+            (opts.warm_start && self.kernel.has_basis()).then(|| self.kernel.basis_snapshot());
         for &(vi, val) in pins {
             self.set_var_box(vi, val, val);
         }
         let solved = self.reopt_in_place(opts);
-        let candidate = if solved.is_ok() {
+        let candidate = if solved.is_ok() && self.kernel.verify_residual(opts) {
             self.node_solution()
         } else {
-            // The polish re-solve failed (rare numerics); fall back to
-            // the relaxation point itself rather than dropping it.
+            // The polish re-solve failed (rare numerics) or its result
+            // flunked the residual trust gate; fall back to the
+            // relaxation point itself rather than dropping it.
             fallback.clone()
         };
         for &(vi, l, h) in restore {
@@ -377,11 +483,12 @@ impl LpBackend for WarmBackend<'_> {
             self.set_var_box(vi, val, val);
         }
         let mut budget = opts.max_pivots;
-        let sol = self
-            .kernel
-            .solve_two_phase(opts, &mut budget)
-            .ok()
-            .map(|()| self.node_solution());
+        let sol = match self.kernel.solve_two_phase(opts, &mut budget) {
+            // The hint becomes an incumbent, so it passes the same
+            // residual trust gate as node bounds.
+            Ok(()) if self.kernel.verify_residual(opts) => Some(self.node_solution()),
+            _ => None,
+        };
         for &(vi, l, h) in restore {
             self.set_var_box(vi, l, h);
         }
@@ -396,6 +503,7 @@ impl LpBackend for WarmBackend<'_> {
         stats.peak_lu_nnz = self.kernel.factor_stats.peak_lu_nnz;
         stats.peak_u_nnz = self.kernel.factor_stats.peak_u_nnz;
         stats.basis_rows = self.kernel.dims().0;
+        stats.recovery = self.kernel.recovery().clone();
     }
 }
 

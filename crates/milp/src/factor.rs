@@ -907,6 +907,9 @@ pub(crate) struct Factor {
     max_etas: usize,
     /// …or at this much accumulated update fill.
     max_eta_fill: usize,
+    /// Fault injection: refuse this many FT updates outright (as a
+    /// near-singular pivot would), leaving the factors untouched.
+    refuse_next: u8,
 }
 
 impl Factor {
@@ -963,7 +966,29 @@ impl Factor {
             lu_nnz,
             max_etas,
             max_eta_fill,
+            refuse_next: 0,
         })
+    }
+
+    /// Fault injection: the next `n` FT updates are refused as if their
+    /// pivot were near-singular. Refusals happen before any state is
+    /// committed, so the factors stay exactly as a genuine refusal
+    /// leaves them — valid for the old basis.
+    pub(crate) fn inject_refusals(&mut self, n: u8) {
+        self.refuse_next = self.refuse_next.saturating_add(n);
+    }
+
+    /// Fault injection: corrupts a saved FT spike by zeroing it. A zero
+    /// spike has zero scale, which [`ft_update_spiked`] refuses *before*
+    /// committing anything — so the factors survive and the caller can
+    /// heal by recomputing the spike from the entering column (ladder
+    /// rung 1).
+    ///
+    /// [`ft_update_spiked`]: Factor::ft_update_spiked
+    pub(crate) fn poison_spike(spike: &mut [f64]) {
+        for v in spike.iter_mut() {
+            *v = 0.0;
+        }
     }
 
     /// `true` once absorbing more pivot updates is worse than
@@ -1034,6 +1059,10 @@ impl Factor {
     /// refactorize the new basis.
     pub fn ft_update(&mut self, slot: usize, col: &[(usize, f64)]) -> bool {
         debug_assert!(self.update == UpdateKind::ForrestTomlin);
+        if self.refuse_next > 0 {
+            self.refuse_next -= 1;
+            return false;
+        }
         let Lu::Sparse(lu) = &mut self.lu else {
             unreachable!("Forrest–Tomlin is resolved away for the dense snapshot")
         };
@@ -1075,6 +1104,10 @@ impl Factor {
     /// [`Factor::ftran_spiked`] of the entering column.
     pub fn ft_update_spiked(&mut self, slot: usize, spike: Vec<f64>) -> bool {
         debug_assert!(self.update == UpdateKind::ForrestTomlin);
+        if self.refuse_next > 0 {
+            self.refuse_next -= 1;
+            return false;
+        }
         let Lu::Sparse(lu) = &mut self.lu else {
             unreachable!("Forrest–Tomlin is resolved away for the dense snapshot")
         };

@@ -51,9 +51,28 @@
 //! The search therefore builds the LP once, mutates integer-column boxes
 //! in place as it branches, and dual-reoptimizes each node from whatever
 //! basis the previous node left behind — typically a handful of pivots
-//! and no refactorization. Fallbacks are layered (parent-basis install,
-//! then cold two-phase) and `SolverOptions { warm_start: false, .. }`
-//! forces cold node solves for A/B comparisons.
+//! and no refactorization. Warm-start misses fall back to a parent-basis
+//! install, then a cold two-phase solve; `SolverOptions { warm_start:
+//! false, .. }` forces cold node solves for A/B comparisons.
+//!
+//! # Failure taxonomy and recovery ladder
+//!
+//! Numerical failure handling is centralized in the [`recover`] module
+//! rather than scattered per call site. Every failure is classified as a
+//! [`NumericalEvent`] (unstable update, singular refactor, cycling
+//! suspected, residual drift, pivot/time budget) and answered by one
+//! escalation ladder: retry the Forrest–Tomlin update from the entering
+//! column → forced refactorization → re-solve the node under
+//! [`UpdateKind::ProductForm`] → cold basis rebuild → Bland-only
+//! pricing → dense-oracle kernel for that node. A residual health
+//! monitor recomputes `‖B·x_B − b_eff‖∞` every few pivots and before
+//! any node bound is trusted, so a corrupted factorization can never
+//! produce a wrong prune. Which events occurred and which rungs fired is
+//! reported in [`BranchBoundStats::recovery`] ([`RecoveryStats`]), and a
+//! seeded [`FaultPlan`] ([`SolverOptions::faults`], default off) can
+//! inject each failure class deterministically — the fault-injection
+//! test and bench gates assert that injected runs prove the same optima
+//! as their clean twins.
 //!
 //! The search itself is one generic core with pluggable **node
 //! ordering** ([`SolverOptions::node_order`]): depth-first with the
@@ -97,6 +116,7 @@ mod branch_bound;
 mod expr;
 mod factor;
 mod model;
+pub mod recover;
 mod revised;
 mod simplex;
 mod solution;
@@ -108,6 +128,7 @@ pub use model::{
     cmp, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind,
     Variable,
 };
+pub use recover::{FaultPlan, NumericalEvent, RecoveryStats};
 pub use solution::{Solution, SolveError, Status};
 
 #[cfg(test)]

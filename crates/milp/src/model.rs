@@ -235,6 +235,11 @@ pub struct SolverOptions {
     /// flushed before the length cap); `<= 0` or non-finite disables the
     /// fill trigger.
     pub refactor_fill_growth: f64,
+    /// Deterministic fault-injection plan (see
+    /// [`FaultPlan`](crate::FaultPlan) and the `recover` module docs).
+    /// `None` — the default — injects nothing; the recovery ladder and
+    /// residual health monitor stay armed either way.
+    pub faults: Option<crate::FaultPlan>,
 }
 
 impl Default for SolverOptions {
@@ -259,6 +264,7 @@ impl Default for SolverOptions {
             node_order: NodeOrder::DfsNearerFirst,
             refactor_eta_len: 0,
             refactor_fill_growth: 8.0,
+            faults: None,
         }
     }
 }

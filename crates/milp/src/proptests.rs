@@ -658,4 +658,33 @@ proptest! {
             eager.objective
         );
     }
+
+    /// **Self-healing oracle**: a fault-injected run must land on the
+    /// same optimum and verdict as its clean twin on planted (feasible)
+    /// MILPs, for arbitrary fault-plan seeds — the recovery ladder
+    /// absorbs every injected failure and never prunes on a corrupted
+    /// bound. The returned point must also stay genuinely feasible.
+    #[test]
+    fn faulted_solves_agree_with_clean_twins(lp in planted_lp(5, 4), seed in any::<u64>()) {
+        let (m, _vars) = lp.build();
+        let base = SolverOptions { max_nodes: 4_000, ..Default::default() };
+        let (clean, clean_stats) =
+            crate::solve_with_stats(&m, &base).expect("planted MILP must be feasible");
+        let (faulted, faulted_stats) = crate::solve_with_stats(
+            &m,
+            &SolverOptions { faults: Some(crate::FaultPlan::seeded(seed)), ..base.clone() },
+        )
+        .expect("faulted twin must recover, not fail");
+        prop_assert!(m.max_violation(faulted.values(), 1e-6) < 1e-5);
+        if !clean_stats.truncated && !faulted_stats.truncated {
+            prop_assert!(
+                (clean.objective - faulted.objective).abs() < 1e-7,
+                "seed {seed:#x}: clean {} vs faulted {} ({:?})",
+                clean.objective,
+                faulted.objective,
+                faulted_stats.recovery
+            );
+            prop_assert_eq!(clean.status, faulted.status);
+        }
+    }
 }

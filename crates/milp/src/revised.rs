@@ -32,8 +32,12 @@
 
 use crate::factor::{Eta, Factor, FactorConfig};
 use crate::model::{SolverOptions, UpdateKind};
+use crate::recover::{
+    FaultInjector, FaultSite, NumericalEvent, RecoveryStats, RESIDUAL_CHECK_EVERY,
+};
 use crate::solution::SolveError;
 use crate::standard::BoxedForm;
+use std::time::Instant;
 
 /// Drop tolerance for product-form eta entries: pivot-direction
 /// components at or below this magnitude are sparsified away. A
@@ -120,6 +124,17 @@ pub(crate) struct Revised {
     pub iters: usize,
     /// Refactorization/fill telemetry.
     pub(crate) factor_stats: FactorStats,
+    /// Event/rung ledger of the recovery ladder (see [`crate::recover`]).
+    pub(crate) recovery: RecoveryStats,
+    /// Deterministic fault injector, armed by `SolverOptions::faults`
+    /// (`None` on clean runs — every site check is one cheap branch).
+    injector: Option<FaultInjector>,
+    /// Wall-clock deadline from [`SolverOptions::time_limit`], enforced
+    /// at pivot-loop checkpoints, not only at node boundaries.
+    deadline: Option<Instant>,
+    /// Node-ladder rung 5: price with Bland's rule from the first pivot
+    /// instead of waiting for the degenerate-run trigger.
+    force_bland: bool,
 }
 
 impl Revised {
@@ -152,7 +167,28 @@ impl Revised {
             dual_ok: false,
             iters: 0,
             factor_stats: FactorStats::default(),
+            recovery: RecoveryStats::default(),
+            injector: opts.faults.as_ref().map(FaultInjector::new),
+            deadline: opts.time_limit.map(|d| Instant::now() + d),
+            force_bland: false,
         }
+    }
+
+    /// One opportunity at a fault-injection site; `true` when a plan is
+    /// armed and fires now (counted, so injected runs can prove they
+    /// actually injected something).
+    fn inject(&mut self, site: FaultSite) -> bool {
+        let fired = self.injector.as_mut().is_some_and(|inj| inj.fire(site));
+        if fired {
+            self.recovery.faults_injected += 1;
+        }
+        fired
+    }
+
+    /// `true` once the wall-clock budget is spent; the node recovery
+    /// ladder stops escalating at this point.
+    pub fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
     /// `(rows, real columns)` of the LP.
@@ -208,6 +244,14 @@ impl Revised {
                 self.pending.push((r, -a * dv));
             }
         }
+    }
+
+    /// Whether this kernel holds a solved basis at all. A freshly built
+    /// kernel (e.g. right after a recovery-ladder rebuild) has every
+    /// basis slot unassigned; snapshotting that state would hand
+    /// children an uninstallable basis.
+    pub fn has_basis(&self) -> bool {
+        self.basis.first().is_none_or(|&j| j != usize::MAX)
     }
 
     /// The current basis/state, for warm-start snapshots.
@@ -337,6 +381,12 @@ impl Revised {
     /// is dropped so the kernel cannot be trusted until the next
     /// successful cold solve or install.
     fn refactor(&mut self) -> Result<(), SolveError> {
+        if self.inject(FaultSite::SingularRefactor) {
+            self.recovery.record(NumericalEvent::SingularRefactor);
+            self.factor = None;
+            self.dual_ok = false;
+            return Err(SolveError::Numerical("singular basis (injected)".into()));
+        }
         let factor = Factor::refactor(self.m, &self.fcfg, |slot, out| {
             self.for_col(self.basis[slot], |r, v| out.push((r, v)));
         });
@@ -349,6 +399,7 @@ impl Revised {
                 Ok(())
             }
             None => {
+                self.recovery.record(NumericalEvent::SingularRefactor);
                 self.factor = None;
                 self.dual_ok = false;
                 Err(SolveError::Numerical("singular basis".into()))
@@ -388,6 +439,110 @@ impl Revised {
         for (x, d) in self.xb.iter_mut().zip(delta) {
             *x += d;
         }
+    }
+
+    // --- residual health monitor -----------------------------------------
+
+    /// `true` when `‖B·x_B − b_eff‖∞` (with `b_eff` the rhs net of the
+    /// resting nonbasic contributions) exceeds the monitor's tolerance
+    /// on some row — relative to that row's own rhs scale, and NaN-safe
+    /// (a NaN residual counts as drift). The tolerance is three decades
+    /// above `feas_tol`, so round-off on healthy bases never trips it;
+    /// only genuinely corrupted factors or basic values do.
+    fn residual_drifting(&self, opts: &SolverOptions) -> bool {
+        debug_assert!(self.pending.is_empty(), "residual check on stale x_B");
+        // Backward-error scale: the residual of a healthy basis is
+        // round-off in the *summed terms*, so each row's scale is the
+        // largest magnitude that entered its sum — `|b_r|`, the resting
+        // nonbasic contributions, and the basic contributions (which
+        // mostly cancel but dominate the round-off).
+        let mut r = self.b.clone();
+        let mut mag: Vec<f64> = self.b.iter().map(|b| b.abs()).collect();
+        for j in 0..self.n {
+            if !self.in_basis[j] {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    for &(row, a) in &self.cols[j] {
+                        r[row] -= a * v;
+                        mag[row] = mag[row].max((a * v).abs());
+                    }
+                }
+            }
+        }
+        for slot in 0..self.m {
+            let xv = self.xb[slot];
+            if xv != 0.0 {
+                self.for_col(self.basis[slot], |row, a| {
+                    r[row] -= a * xv;
+                    mag[row] = mag[row].max((a * xv).abs());
+                });
+            }
+        }
+        // FTRAN mixes rows, so round-off lands on *every* row at the
+        // global magnitude — the absolute floor must track the global
+        // scale, not the row's own (near-empty rows would otherwise
+        // flag their own round-off as drift).
+        let global = mag.iter().fold(0.0f64, |acc, &v| acc.max(v));
+        let floor = (1e3 * f64::EPSILON * global).max(f64::MIN_POSITIVE);
+        let tol = 1e3 * opts.feas_tol;
+        // Negated `<=` rather than `>` so a NaN residual (poisoned
+        // arithmetic somewhere upstream) reads as drifting.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        r.iter()
+            .zip(&mag)
+            .any(|(&ri, &s)| !(ri.abs() <= (tol * s).max(floor)))
+    }
+
+    /// Pivot-loop health checkpoint, due every [`RESIDUAL_CHECK_EVERY`]
+    /// pivots: the wall-clock deadline first (cheap), then — once any
+    /// pivots have run — the residual health monitor. Drift forces a
+    /// refactorization (ladder rung 2); drift that survives the fresh
+    /// factorization means the basis state itself is corrupt, which
+    /// escalates to the caller as a numerical error (next rung).
+    fn checkpoint(&mut self, pivots_done: usize, opts: &SolverOptions) -> Result<(), SolveError> {
+        if !pivots_done.is_multiple_of(RESIDUAL_CHECK_EVERY) {
+            return Ok(());
+        }
+        if self.inject(FaultSite::FakeTimeLimit) || self.out_of_time() {
+            self.recovery.record(NumericalEvent::TimeBudget);
+            return Err(SolveError::IterationLimit);
+        }
+        if pivots_done > 0 && self.residual_drifting(opts) {
+            self.recovery.record(NumericalEvent::ResidualDrift);
+            self.recovery.forced_refactors += 1;
+            self.factor_stats.forced_refactors += 1;
+            self.refactor()?;
+            self.compute_xb();
+            if self.residual_drifting(opts) {
+                self.dual_ok = false;
+                return Err(SolveError::Numerical("persistent residual drift".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Trust gate for node bounds: `true` when the current basis state
+    /// reproduces the effective right-hand side within the monitor's
+    /// tolerance (trivially so without a factorization). On drift the
+    /// kernel heals itself — refactorize, recompute `x_B` — but still
+    /// answers `false`: the bound just computed must not be trusted, and
+    /// the caller re-solves on the next ladder rung. Healthy calls are
+    /// read-only, so clean-run trajectories are untouched.
+    pub fn verify_residual(&mut self, opts: &SolverOptions) -> bool {
+        if self.factor.is_none() {
+            return true;
+        }
+        self.sync_xb();
+        if !self.residual_drifting(opts) {
+            return true;
+        }
+        self.recovery.record(NumericalEvent::ResidualDrift);
+        self.recovery.forced_refactors += 1;
+        self.factor_stats.forced_refactors += 1;
+        if self.refactor().is_ok() {
+            self.compute_xb();
+        }
+        false
     }
 
     /// Installs an externally supplied basis state (e.g. a parent
@@ -500,13 +655,23 @@ impl Revised {
         prow: usize,
         enter: usize,
         d: &[f64],
-        spike: Option<Vec<f64>>,
+        mut spike: Option<Vec<f64>>,
     ) -> Result<(), SolveError> {
-        // Gathered before the factor is mutably borrowed; only the
-        // spike-less FT fallback reads it.
+        // Gathered before the factor is mutably borrowed; the FT arm
+        // reads it on the spike-less path and for the retry rung.
         let mut enter_col: Vec<(usize, f64)> = Vec::new();
-        if spike.is_none() {
-            self.for_col(enter, |r, v| enter_col.push((r, v)));
+        self.for_col(enter, |r, v| enter_col.push((r, v)));
+        if self.fcfg.update == UpdateKind::ForrestTomlin {
+            if let Some(spike) = spike.as_mut() {
+                if self.inject(FaultSite::PerturbFtSpike) {
+                    Factor::poison_spike(spike);
+                }
+            }
+            if self.inject(FaultSite::RefuseFtUpdate) {
+                // Two refusals defeat the spiked attempt *and* the retry,
+                // exercising the forced-refactor rung.
+                self.factor.as_mut().expect("factorized").inject_refusals(2);
+            }
         }
         let factor = self.factor.as_mut().expect("factorized");
         match factor.update_kind() {
@@ -527,10 +692,15 @@ impl Revised {
                 // The spike saved by `direction(enter)`'s FTRAN; absent
                 // only if a caller pivots without having priced a
                 // direction, which none does.
-                let ok = match spike {
+                let first = match spike {
                     Some(spike) => factor.ft_update_spiked(prow, spike),
                     None => factor.ft_update(prow, &enter_col),
                 };
+                // Ladder rung 1: a refused spiked update may only mean
+                // the saved spike was corrupted — recompute it from the
+                // entering column before paying for a refactorization
+                // (refusals commit nothing, so the factors are intact).
+                let ok = first || factor.ft_update(prow, &enter_col);
                 if ok {
                     self.factor_stats.ft_updates += 1;
                     // The snapshot itself grows under FT (spikes + row
@@ -539,9 +709,16 @@ impl Revised {
                     self.factor_stats.peak_lu_nnz =
                         self.factor_stats.peak_lu_nnz.max(factor.current_nnz());
                     self.factor_stats.peak_u_nnz = self.factor_stats.peak_u_nnz.max(factor.u_nnz());
+                    if !first {
+                        self.recovery.record(NumericalEvent::UnstableUpdate);
+                        self.recovery.ft_retries += 1;
+                    }
                 } else {
-                    // Unstable update: refactorize the new basis instead.
+                    // Ladder rung 2 — unstable update: refactorize the
+                    // new basis instead.
                     self.factor_stats.forced_refactors += 1;
+                    self.recovery.record(NumericalEvent::UnstableUpdate);
+                    self.recovery.forced_refactors += 1;
                     self.refactor()?;
                     self.compute_xb();
                     return Ok(());
@@ -717,16 +894,31 @@ impl Revised {
         self.dual_ok = false;
         let mut degenerate_run = 0usize;
         let switch_after = 4 * (self.m + self.n);
-        let mut bland = false;
+        let mut bland = self.force_bland;
+        if self.inject(FaultSite::InjectCycling) {
+            self.recovery.record(NumericalEvent::CyclingSuspected);
+            bland = true;
+        }
+        let mut pivots_done = 0usize;
         loop {
             if *pivots_left == 0 {
+                self.recovery.record(NumericalEvent::PivotBudget);
                 return Err(SolveError::IterationLimit);
             }
+            self.checkpoint(pivots_done, opts)?;
             let y = self.duals(phase1);
             let Some(enter) = self.price(&y, phase1, bland, opts.feas_tol) else {
                 if !phase1 {
                     // Phase-2 optimality: the basis is dual feasible.
                     self.dual_ok = true;
+                    if self.inject(FaultSite::PoisonRatioTest) {
+                        // Corrupt a basic value *after* the nominally
+                        // optimal exit: only the residual trust gate can
+                        // keep this out of a node bound.
+                        if let Some(slot) = (0..self.m).find(|&r| self.basis[r] < self.n) {
+                            self.xb[slot] += 1e6 * (1.0 + self.xb[slot].abs());
+                        }
+                    }
                 }
                 return Ok(PhaseEnd::Optimal);
             };
@@ -747,18 +939,24 @@ impl Revised {
                 self.at_upper[enter] = !self.at_upper[enter];
                 self.iters += 1;
             } else {
-                let prow = block.expect("finite blocking t without a row");
+                let Some(prow) = block else {
+                    return Err(SolveError::Numerical(
+                        "ratio test returned a finite blocking step without a row".into(),
+                    ));
+                };
                 self.pivot(prow, enter, sigma, t, d, spike, to_upper, opts)?;
             }
             *pivots_left -= 1;
+            pivots_done += 1;
             if t.abs() <= 1e-12 {
                 degenerate_run += 1;
-                if degenerate_run > switch_after {
+                if degenerate_run > switch_after && !bland {
+                    self.recovery.record(NumericalEvent::CyclingSuspected);
                     bland = true;
                 }
             } else {
                 degenerate_run = 0;
-                bland = false;
+                bland = self.force_bland;
             }
         }
     }
@@ -774,6 +972,14 @@ impl Revised {
         opts: &SolverOptions,
         pivots_left: &mut usize,
     ) -> Result<(), SolveError> {
+        if self.inject(FaultSite::FakeIterationLimit) {
+            self.recovery.record(NumericalEvent::PivotBudget);
+            return Err(SolveError::IterationLimit);
+        }
+        if self.out_of_time() {
+            self.recovery.record(NumericalEvent::TimeBudget);
+            return Err(SolveError::IterationLimit);
+        }
         self.crash();
         self.refactor()?;
         self.compute_xb();
@@ -862,7 +1068,12 @@ impl Revised {
         self.dual_ok = true;
         let tol = opts.feas_tol;
         let mut just_refactored = false;
+        let mut pivots_done = 0usize;
         loop {
+            // Checked before the violation scan: a checkpoint that heals
+            // residual drift recomputes x_B, and the row selection below
+            // must see the corrected values.
+            self.checkpoint(pivots_done, opts)?;
             // Leaving row: worst box violation among basic variables.
             let mut prow: Option<usize> = None;
             let mut worst = tol;
@@ -886,6 +1097,7 @@ impl Revised {
                 return Ok(()); // primal feasible (and still dual feasible)
             };
             if *pivots_left == 0 {
+                self.recovery.record(NumericalEvent::PivotBudget);
                 return Err(SolveError::IterationLimit);
             }
 
@@ -961,6 +1173,7 @@ impl Revised {
             just_refactored = false;
             self.dual_pivot(prow, enter, sigma, below, d, spike, opts)?;
             *pivots_left -= 1;
+            pivots_done += 1;
         }
     }
 
@@ -997,6 +1210,49 @@ impl Revised {
             PhaseEnd::Optimal => Ok(()),
             PhaseEnd::Unbounded => Err(SolveError::Unbounded),
         }
+    }
+
+    // --- recovery-ladder controls ----------------------------------------
+
+    /// Ladder rung 3: switch the update scheme the *next*
+    /// refactorization resolves to (a following cold solve rebuilds the
+    /// factors under it). The factors currently installed are untouched.
+    pub fn set_update_kind(&mut self, kind: UpdateKind) {
+        self.fcfg.update = kind;
+    }
+
+    /// Ladder rung 5: price with Bland's rule from the first pivot of
+    /// every following run (`false` restores the automatic
+    /// Dantzig-with-fallback policy).
+    pub fn set_force_bland(&mut self, on: bool) {
+        self.force_bland = on;
+    }
+
+    /// The recovery ledger accumulated by this kernel instance.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Ladder rungs 4 and 6: a fresh kernel over the same form under
+    /// `opts` (which may select a different factorization, e.g. the
+    /// dense oracle), discarding every piece of possibly corrupted
+    /// basis/factor state while carrying over what must survive the
+    /// swap: the branch-tightened column boxes (the form only knows the
+    /// root boxes), the accumulated telemetry, the fault injector and
+    /// the original wall-clock deadline (a rebuild must not extend the
+    /// time budget).
+    pub fn rebuilt(&mut self, bf: &BoxedForm, opts: &SolverOptions) -> Revised {
+        let mut fresh = Revised::new(bf, opts);
+        fresh.b.copy_from_slice(&self.b);
+        fresh.lower.copy_from_slice(&self.lower);
+        fresh.upper.copy_from_slice(&self.upper);
+        fresh.iters = self.iters;
+        fresh.factor_stats = self.factor_stats;
+        fresh.recovery = std::mem::take(&mut self.recovery);
+        fresh.injector = self.injector.take();
+        fresh.deadline = self.deadline;
+        fresh.force_bland = self.force_bland;
+        fresh
     }
 }
 
@@ -1040,6 +1296,31 @@ mod tests {
         let bf = BoxedForm::build(m);
         let (y, _) = solve(&bf, &SolverOptions::default())?;
         Ok(bf.sf.recover(&y))
+    }
+
+    /// `time_limit` is enforced *inside* the kernel (solve entry and
+    /// pivot-loop checkpoints), not only at node boundaries: an already
+    /// expired deadline aborts before any pivot.
+    #[test]
+    fn zero_time_limit_aborts_inside_the_kernel() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(3.0 * x + 5.0 * y);
+        m.add_constraint(x + y, cmp::LE, 4.0);
+        let bf = BoxedForm::build(&m);
+        let opts = SolverOptions {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..SolverOptions::default()
+        };
+        assert_eq!(solve(&bf, &opts), Err(SolveError::IterationLimit));
+        let kernel = Revised::new(&bf, &opts);
+        assert!(kernel.out_of_time());
+        assert_eq!(
+            kernel.recovery().time_budget,
+            0,
+            "the budget event is recorded by the solve path, not the probe"
+        );
     }
 
     #[test]

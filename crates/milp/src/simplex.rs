@@ -144,20 +144,31 @@ enum PhaseEnd {
     Unbounded,
 }
 
-/// Runs pivots until optimality/unboundedness or the pivot budget is spent.
+/// Pivot interval of the wall-clock check in [`run_phase`].
+const TIME_CHECK_EVERY: usize = 128;
+
+/// Runs pivots until optimality/unboundedness or a budget — pivots or
+/// wall clock (checked every [`TIME_CHECK_EVERY`] pivots) — is spent.
 fn run_phase(
     t: &mut Tableau,
     ncols_allowed: usize,
     blocked: &[bool],
     pivots_left: &mut usize,
     tol: f64,
+    deadline: Option<std::time::Instant>,
 ) -> Result<PhaseEnd, SolveError> {
     // Degeneracy bookkeeping for the Bland switch.
     let mut degenerate_run = 0usize;
     let switch_after = 4 * (t.m + t.width);
     let mut bland = false;
+    let mut pivots_done = 0usize;
     loop {
         if *pivots_left == 0 {
+            return Err(SolveError::IterationLimit);
+        }
+        if pivots_done.is_multiple_of(TIME_CHECK_EVERY)
+            && deadline.is_some_and(|dl| std::time::Instant::now() >= dl)
+        {
             return Err(SolveError::IterationLimit);
         }
         let pcol = if bland {
@@ -174,6 +185,7 @@ fn run_phase(
         let before = t.rhs(t.m);
         t.pivot(prow, pcol);
         *pivots_left -= 1;
+        pivots_done += 1;
         let after = t.rhs(t.m);
         if (after - before).abs() <= 1e-12 {
             degenerate_run += 1;
@@ -274,12 +286,21 @@ pub(crate) fn solve(
             t.row_mut(r)[a] = 1.0;
             t.basis[r] = a;
         } else {
-            t.basis[r] = slack_col[r].expect("row without artificial has a slack column");
+            // `need_artificial[r]` is cleared exactly when a slack column
+            // was found, but a structured error beats a panic if that
+            // bookkeeping ever drifts.
+            let Some(c) = slack_col[r] else {
+                return Err(SolveError::Numerical(format!(
+                    "dense tableau row {r} has neither an artificial nor a slack column"
+                )));
+            };
+            t.basis[r] = c;
         }
     }
 
     let mut pivots_left = opts.max_pivots;
     let tol = opts.feas_tol;
+    let deadline = opts.time_limit.map(|d| std::time::Instant::now() + d);
     let blocked_none = vec![false; width];
 
     // --- Phase 1 --------------------------------------------------------
@@ -305,7 +326,14 @@ pub(crate) fn solve(
         }
         t.row_mut(m)[width - 1] = -z;
 
-        match run_phase(&mut t, width - 1, &blocked_none, &mut pivots_left, tol)? {
+        match run_phase(
+            &mut t,
+            width - 1,
+            &blocked_none,
+            &mut pivots_left,
+            tol,
+            deadline,
+        )? {
             PhaseEnd::Optimal => {}
             PhaseEnd::Unbounded => {
                 // Phase-1 objective is bounded below by 0; unbounded here
@@ -369,7 +397,7 @@ pub(crate) fn solve(
         *b = true;
     }
 
-    match run_phase(&mut t, width - 1, &blocked, &mut pivots_left, tol)? {
+    match run_phase(&mut t, width - 1, &blocked, &mut pivots_left, tol, deadline)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(SolveError::Unbounded),
     }
@@ -396,6 +424,23 @@ mod tests {
         let sf = StandardForm::build(m);
         let (y, _) = solve(&sf, &SolverOptions::default())?;
         Ok(sf.recover(&y))
+    }
+
+    /// `time_limit` is enforced inside the tableau pivot loop too: an
+    /// already expired deadline aborts before the first pivot.
+    #[test]
+    fn zero_time_limit_aborts_inside_the_tableau_kernel() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(3.0 * x + 5.0 * y);
+        m.add_constraint(x + y, cmp::LE, 4.0);
+        let sf = StandardForm::build(&m);
+        let opts = SolverOptions {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..SolverOptions::default()
+        };
+        assert_eq!(solve(&sf, &opts), Err(SolveError::IterationLimit));
     }
 
     #[test]

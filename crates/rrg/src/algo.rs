@@ -225,13 +225,25 @@ pub fn combinational_topo_order(g: &Rrg, buffers: &[i64]) -> Result<Vec<NodeId>,
         Ok(order)
     } else {
         // Some node kept positive in-degree: find an offending edge.
-        let bad = g
+        // Prefer an edge *between* two blocked nodes (it lies on the
+        // cycle itself); fall back to any combinational edge into a
+        // blocked node, which provably exists — a blocked node's
+        // in-degree counts exactly those edges — so this stays total
+        // instead of panicking on an unexpected degree state.
+        let between = g
             .edges
             .iter()
             .enumerate()
-            .find(|(i, e)| buffers[*i] == 0 && indeg[e.target.0] > 0 && indeg[e.source.0] > 0)
+            .find(|(i, e)| buffers[*i] == 0 && indeg[e.target.0] > 0 && indeg[e.source.0] > 0);
+        let bad = between
+            .or_else(|| {
+                g.edges
+                    .iter()
+                    .enumerate()
+                    .find(|(i, e)| buffers[*i] == 0 && indeg[e.target.0] > 0)
+            })
             .map(|(i, _)| EdgeId(i))
-            .expect("cyclic combinational subgraph must contain an edge between cyclic nodes");
+            .expect("a node with positive combinational in-degree has an incoming edge");
         Err(bad)
     }
 }

@@ -51,6 +51,7 @@ fn main() {
                 max_states: 500_000,
                 max_exact_solve: 500_000,
                 solver: StationarySolver::SparseIterative,
+                faults: None,
             };
             let cap_label = match cap {
                 Capacity::Unbounded => "unbounded".to_string(),

@@ -35,6 +35,14 @@ cargo test -q -p rr-milp --offline proptests
 echo "==> cargo test --test search_orders (fixed-seed node-ordering gate)"
 cargo test -q --offline --test search_orders
 
+# The self-healing gate: fixed-seed fault-injected runs must prove the
+# same optima as their clean twins on every Table-1 figure and bench
+# instance, with the recovery counters showing every failure class was
+# observed and every ladder rung fired. The FaultPlan is seeded (one
+# deterministic SplitMix64 stream per site), so failures replay exactly.
+echo "==> cargo test --test fault_injection (fixed-seed recovery-ladder gate)"
+cargo test -q --offline --release --test fault_injection
+
 # Bench code must at least compile so the perf harness can't silently
 # rot between PRs (running the benches stays a manual/nightly job); this
 # also covers the ordering A/B arm of milp_scaling (ordering_comparison).
