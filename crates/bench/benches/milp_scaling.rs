@@ -620,10 +620,161 @@ fn fault_comparison(_c: &mut Criterion) {
     );
 }
 
+/// One parallel-search measurement: the fixed 1000-node-cap best-bound
+/// `MAX_THR` run at a given worker count. Each configuration is run
+/// three times and the fastest wall clock kept (the speedup ratio is
+/// the headline number, so per-run noise must not fake or hide a
+/// regression); the objective must be identical across repetitions.
+struct ParallelMeasurement {
+    record: JsonRecord,
+    wall_ms: f64,
+    objective: f64,
+    truncated: bool,
+    nodes: usize,
+    queue_peak: usize,
+}
+
+fn measure_parallel(
+    g: &Rrg,
+    edges: usize,
+    workers: usize,
+    disagreements: &mut Vec<String>,
+) -> ParallelMeasurement {
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = None; // deterministic budget: node cap only
+    opts.solver.max_nodes = 1000;
+    opts.solver.node_order = NodeOrder::BestBound;
+    opts.solver.factor = FactorKind::Sparse;
+    opts.solver.workers = workers;
+    let mut wall_ms = f64::INFINITY;
+    let mut out: Option<rr_core::formulation::OptOutcome> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let o = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
+        wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &out {
+            if (prev.objective - o.objective).abs() > 1e-7 * prev.objective.abs().max(1.0) {
+                disagreements.push(format!(
+                    "max_thr {edges} edges, {workers} workers: repeated runs disagree \
+                     ({} vs {})",
+                    prev.objective, o.objective
+                ));
+            }
+        }
+        out = Some(o);
+    }
+    let out = out.unwrap();
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "max_thr_parallel")
+        .int("edges", edges as u64)
+        .int("workers", workers as u64)
+        .int("node_cap", 1000)
+        .str("order", "best_bound")
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("queue_peak", out.stats.queue_peak as u64)
+        .int("truncated", u64::from(out.stats.truncated));
+    ParallelMeasurement {
+        record,
+        wall_ms,
+        objective: out.objective,
+        truncated: out.stats.truncated,
+        nodes: out.stats.nodes,
+        queue_peak: out.stats.queue_peak,
+    }
+}
+
+/// The parallel-search scaling arm: the 40-edge `MAX_THR` bench instance
+/// under the fixed 1000-node best-bound cap at 1, 2 and 4 workers.
+/// Wall time, node count and queue peak per worker count go into
+/// `BENCH_milp.json` together with a summary carrying the speedups and
+/// the host's CPU count (wall-clock speedup is only attainable when the
+/// host grants at least as many CPUs as workers — on a single-CPU
+/// runner the interesting trajectory is the *overhead* of the parallel
+/// machinery, which should stay near ×1). The run fails loudly — after
+/// the records are on disk — if any worker count reaches a different
+/// final objective or completion verdict than the serial run (schedule
+/// independence is the determinism contract of the parallel search).
+fn parallel_comparison(_c: &mut Criterion) {
+    let edges = 40usize;
+    let g = instance(edges);
+    let mut records = Vec::new();
+    let mut disagreements: Vec<String> = Vec::new();
+    let runs: Vec<(usize, ParallelMeasurement)> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| (w, measure_parallel(&g, edges, w, &mut disagreements)))
+        .collect();
+    let serial = &runs[0].1;
+    for (workers, m) in &runs {
+        println!(
+            "parallel comparison: max_thr {edges} edges, {workers} worker(s): \
+             {:.1} ms, {} nodes, queue peak {}, objective {}{}",
+            m.wall_ms,
+            m.nodes,
+            m.queue_peak,
+            m.objective,
+            if m.truncated { " (truncated)" } else { "" }
+        );
+        records.push(m.record.clone());
+        if (m.objective - serial.objective).abs() > 1e-7 * serial.objective.abs().max(1.0) {
+            disagreements.push(format!(
+                "max_thr {edges} edges: {workers} workers found {} vs serial {} — \
+                 the parallel search changed the answer",
+                m.objective, serial.objective
+            ));
+        }
+        if m.truncated != serial.truncated {
+            disagreements.push(format!(
+                "max_thr {edges} edges: completion verdicts diverge at {workers} workers \
+                 (serial truncated={}, parallel truncated={})",
+                serial.truncated, m.truncated
+            ));
+        }
+    }
+    let two = &runs[1].1;
+    let four = &runs[2].1;
+    let speedup_x2 = serial.wall_ms / two.wall_ms.max(1e-9);
+    let speedup_x4 = serial.wall_ms / four.wall_ms.max(1e-9);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel comparison: speedup ×{speedup_x2:.2} at 2 workers, \
+         ×{speedup_x4:.2} at 4 workers over the serial search \
+         ({host_cpus} host CPU(s){})",
+        if host_cpus < 4 {
+            " — speedup bounded by the host, the gate here is agreement + overhead"
+        } else {
+            ""
+        }
+    );
+    records.push(
+        JsonRecord::new("parallel_scaling_summary")
+            .int("edges", edges as u64)
+            .int("node_cap", 1000)
+            .int("host_cpus", host_cpus as u64)
+            .num("serial_ms", serial.wall_ms)
+            .num("two_workers_ms", two.wall_ms)
+            .num("four_workers_ms", four.wall_ms)
+            .num("speedup_x2", speedup_x2)
+            .num("speedup_x4", speedup_x4)
+            .num("objective", serial.objective)
+            .int("truncated", u64::from(serial.truncated)),
+    );
+    append(&records);
+    assert!(
+        disagreements.is_empty(),
+        "parallel-search divergence (records already in BENCH_milp.json):\n{}",
+        disagreements.join("\n")
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
     targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison,
-        update_comparison, fault_comparison
+        update_comparison, fault_comparison, parallel_comparison
 }
 criterion_main!(benches);

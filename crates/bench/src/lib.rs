@@ -53,6 +53,9 @@ pub struct HarnessArgs {
     pub only: Vec<String>,
     /// Print per-configuration detail (`--verbose`).
     pub verbose: bool,
+    /// Branch & bound worker threads per MILP (`--workers N`); `1`
+    /// keeps the serial, bit-reproducible search.
+    pub workers: usize,
 }
 
 impl Default for HarnessArgs {
@@ -64,6 +67,7 @@ impl Default for HarnessArgs {
             horizon: 30_000,
             only: Vec::new(),
             verbose: false,
+            workers: 1,
         }
     }
 }
@@ -105,10 +109,15 @@ impl HarnessArgs {
                 }
                 "--only" => out.only = take("--only").split(',').map(str::to_string).collect(),
                 "--verbose" => out.verbose = true,
+                "--workers" => {
+                    out.workers = take("--workers")
+                        .parse()
+                        .expect("workers must be an integer")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --seed N --max-edges N --full-size --time-limit SECS \
-                         --horizon CYCLES --only s526,s27 --verbose"
+                         --horizon CYCLES --only s526,s27 --workers N --verbose"
                     );
                     std::process::exit(0);
                 }
@@ -123,6 +132,7 @@ impl HarnessArgs {
         CoreOptions {
             solver: SolverOptions {
                 time_limit: Some(Duration::from_secs(self.time_limit_secs)),
+                workers: self.workers,
                 ..Default::default()
             },
             sim: SimParams {
@@ -159,13 +169,27 @@ where
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    parallel_map_bounded(workers, items, f)
+}
+
+/// The shared bounded-parallelism fan-out: runs items on up to `workers`
+/// scoped threads pulling from one work queue, preserving input order in
+/// the output. Every table-row fan-out and the parallel-search test
+/// harness go through here — the one place that owns the
+/// `std::thread::scope` + work-queue idiom.
+pub fn parallel_map_bounded<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let work: std::sync::Mutex<Vec<(usize, T)>> =
         std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
     let results_mx = std::sync::Mutex::new(&mut results);
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n.max(1)) {
+        for _ in 0..workers.max(1).min(n.max(1)) {
             s.spawn(|| loop {
                 let item = work.lock().unwrap().pop();
                 let Some((i, item)) = item else {
@@ -222,6 +246,23 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..32).collect::<Vec<_>>(), |x| x * 2);
         assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_bounded_handles_edge_worker_counts() {
+        for workers in [0, 1, 3, 64] {
+            let out = parallel_map_bounded(workers, (0..17).collect::<Vec<_>>(), |x| x + 1);
+            assert_eq!(out, (0..17).map(|x| x + 1).collect::<Vec<_>>());
+        }
+        assert!(parallel_map_bounded(4, Vec::<i32>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn workers_flag_reaches_solver_options() {
+        let a = args(&["--workers", "4"]);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.core_options().solver.workers, 4);
+        assert_eq!(args(&[]).core_options().solver.workers, 1);
     }
 
     #[test]

@@ -60,7 +60,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::expr::VarId;
@@ -140,7 +140,7 @@ pub struct BranchBoundStats {
 /// What the search core needs from an LP layer: apply a variable box,
 /// solve the node relaxation, snapshot warm-start state, and run the
 /// round-and-fix / hint pinning protocols.
-trait LpBackend {
+pub(crate) trait LpBackend {
     /// `true` when integral leaves are re-solved through
     /// [`LpBackend::round_and_fix`] to snap the stored point exactly
     /// (the legacy behaviour); the warm kernel accepts the relaxation
@@ -196,14 +196,16 @@ trait LpBackend {
 
 /// Revised-kernel backend over a [`BoxedForm`] built once; branching
 /// mutates column boxes in place and nodes dual-reoptimize from the
-/// previous basis.
-struct WarmBackend<'a> {
-    model: &'a Model,
-    form: BoxedForm,
+/// previous basis. The form is behind an `Arc` — read-only after the
+/// build — so the parallel search can hand one copy to every worker's
+/// backend while each worker keeps exclusive ownership of its kernel.
+pub(crate) struct WarmBackend<'a> {
+    pub(crate) model: &'a Model,
+    pub(crate) form: Arc<BoxedForm>,
     /// Per model variable: `(column, root lower bound)` of branchable
     /// integers; `None` for fixed or continuous variables.
-    int_cols: Vec<Option<(usize, f64)>>,
-    kernel: Revised,
+    pub(crate) int_cols: Vec<Option<(usize, f64)>>,
+    pub(crate) kernel: Revised,
 }
 
 impl WarmBackend<'_> {
@@ -495,15 +497,23 @@ impl LpBackend for WarmBackend<'_> {
         sol
     }
 
+    /// Folds this backend's kernel telemetry into `stats`
+    /// **additively**: counters accumulate, peaks take the max, and the
+    /// recovery ledger is absorbed rather than overwritten. The serial
+    /// search calls this once on zeroed stats (where `+=` equals `=`);
+    /// the parallel merge layer calls it once per worker into the same
+    /// struct, so an assignment here would silently drop every worker's
+    /// counters but the last — including recovery counters from
+    /// fallback re-solves.
     fn finish(&self, stats: &mut BranchBoundStats) {
-        stats.simplex_iters = self.kernel.iters;
-        stats.refactors = self.kernel.factor_stats.refactors;
-        stats.ft_updates = self.kernel.factor_stats.ft_updates;
-        stats.forced_refactors = self.kernel.factor_stats.forced_refactors;
-        stats.peak_lu_nnz = self.kernel.factor_stats.peak_lu_nnz;
-        stats.peak_u_nnz = self.kernel.factor_stats.peak_u_nnz;
+        stats.simplex_iters += self.kernel.iters;
+        stats.refactors += self.kernel.factor_stats.refactors;
+        stats.ft_updates += self.kernel.factor_stats.ft_updates;
+        stats.forced_refactors += self.kernel.factor_stats.forced_refactors;
+        stats.peak_lu_nnz = stats.peak_lu_nnz.max(self.kernel.factor_stats.peak_lu_nnz);
+        stats.peak_u_nnz = stats.peak_u_nnz.max(self.kernel.factor_stats.peak_u_nnz);
         stats.basis_rows = self.kernel.dims().0;
-        stats.recovery = self.kernel.recovery().clone();
+        stats.recovery.absorb(self.kernel.recovery());
     }
 }
 
@@ -602,27 +612,84 @@ impl LpBackend for LegacyBackend {
 /// active one (undo to the lowest common ancestor, apply down), so the
 /// stepwise box mutations — and hence the kernel state — are identical to
 /// what the historical recursive DFS produced.
-struct TreeNode {
+pub(crate) struct TreeNode {
+    pub(crate) parent: usize,
+    pub(crate) depth: usize,
+    /// Model variable branched on (`usize::MAX` for the root).
+    pub(crate) vi: usize,
+    /// The tightened box of `vi` at this node.
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
+    /// `vi`'s box at the parent (for the undo walk).
+    pub(crate) parent_lo: f64,
+    pub(crate) parent_hi: f64,
+}
+
+impl TreeNode {
+    /// The root sentinel (no parent, no tightening).
+    pub(crate) fn root() -> TreeNode {
+        TreeNode {
+            parent: usize::MAX,
+            depth: 0,
+            vi: usize::MAX,
+            lo: 0.0,
+            hi: 0.0,
+            parent_lo: 0.0,
+            parent_hi: 0.0,
+        }
+    }
+}
+
+/// The two children of branching `vi` at fractional value `val` inside
+/// the box `[plo, phi]`, returned `[far, near]` (the nearer branching
+/// side last, so LIFO consumers pop it first and equal-bound heap ties
+/// resolve toward it). Children whose box would be empty are `None`.
+/// Shared between the serial core's `expand` and the parallel workers so
+/// both layers branch identically.
+pub(crate) fn branch_children(
     parent: usize,
     depth: usize,
-    /// Model variable branched on (`usize::MAX` for the root).
     vi: usize,
-    /// The tightened box of `vi` at this node.
-    lo: f64,
-    hi: f64,
-    /// `vi`'s box at the parent (for the undo walk).
-    parent_lo: f64,
-    parent_hi: f64,
+    val: f64,
+    plo: f64,
+    phi: f64,
+) -> [Option<TreeNode>; 2] {
+    let floor = val.floor();
+    let ceil = val.ceil();
+    let down_first = val - floor <= ceil - val;
+    let down_child = (plo <= phi.min(floor)).then(|| TreeNode {
+        parent,
+        depth,
+        vi,
+        lo: plo,
+        hi: phi.min(floor),
+        parent_lo: plo,
+        parent_hi: phi,
+    });
+    let up_child = (plo.max(ceil) <= phi).then(|| TreeNode {
+        parent,
+        depth,
+        vi,
+        lo: plo.max(ceil),
+        hi: phi,
+        parent_lo: plo,
+        parent_hi: phi,
+    });
+    if down_first {
+        [up_child, down_child]
+    } else {
+        [down_child, up_child]
+    }
 }
 
 /// An open (queued) node: arena index, parent LP bound (signed, i.e.
 /// minimization form), push sequence number, and the parent's basis for
 /// warm-start handoff.
-struct OpenNode {
-    node: usize,
-    key: f64,
-    seq: usize,
-    basis: Option<Rc<BasisState>>,
+pub(crate) struct OpenNode {
+    pub(crate) node: usize,
+    pub(crate) key: f64,
+    pub(crate) seq: usize,
+    pub(crate) basis: Option<Arc<BasisState>>,
 }
 
 impl PartialEq for OpenNode {
@@ -650,31 +717,31 @@ impl Ord for OpenNode {
 
 /// The open-node container: LIFO stack for DFS, bound-keyed priority
 /// queue for best-bound.
-enum Frontier {
+pub(crate) enum Frontier {
     Dfs(Vec<OpenNode>),
     Best(BinaryHeap<OpenNode>),
 }
 
 impl Frontier {
-    fn new(order: NodeOrder) -> Frontier {
+    pub(crate) fn new(order: NodeOrder) -> Frontier {
         match order {
             NodeOrder::DfsNearerFirst => Frontier::Dfs(Vec::new()),
             NodeOrder::BestBound => Frontier::Best(BinaryHeap::new()),
         }
     }
-    fn push(&mut self, n: OpenNode) {
+    pub(crate) fn push(&mut self, n: OpenNode) {
         match self {
             Frontier::Dfs(v) => v.push(n),
             Frontier::Best(h) => h.push(n),
         }
     }
-    fn pop(&mut self) -> Option<OpenNode> {
+    pub(crate) fn pop(&mut self) -> Option<OpenNode> {
         match self {
             Frontier::Dfs(v) => v.pop(),
             Frontier::Best(h) => h.pop(),
         }
     }
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Frontier::Dfs(v) => v.len(),
             Frontier::Best(h) => h.len(),
@@ -688,7 +755,11 @@ struct SearchCore<'a, B: LpBackend> {
     model: &'a Model,
     opts: &'a SolverOptions,
     sense_mul: f64,
-    start: Instant,
+    /// Wall-clock deadline, captured **once** at solve start
+    /// ([`SolverOptions::time_limit`] past that instant) and shared with
+    /// the backend's kernel — budget checks must measure one common
+    /// clock, never restart it.
+    deadline: Option<Instant>,
     best: Option<Solution>,
     stats: BranchBoundStats,
     int_vars: Vec<VarId>,
@@ -720,7 +791,12 @@ struct SearchCore<'a, B: LpBackend> {
 }
 
 impl<'a, B: LpBackend> SearchCore<'a, B> {
-    fn new(model: &'a Model, opts: &'a SolverOptions, backend: B) -> Self {
+    fn new(
+        model: &'a Model,
+        opts: &'a SolverOptions,
+        backend: B,
+        deadline: Option<Instant>,
+    ) -> Self {
         let int_vars: Vec<VarId> = model
             .vars()
             .filter(|(_, v)| v.is_integer())
@@ -735,7 +811,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                 Sense::Minimize => 1.0,
                 Sense::Maximize => -1.0,
             },
-            start: Instant::now(),
+            deadline,
             best: None,
             stats: BranchBoundStats {
                 order: opts.node_order,
@@ -758,12 +834,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         if self.stats.nodes >= self.opts.max_nodes {
             return true;
         }
-        if let Some(limit) = self.opts.time_limit {
-            if self.start.elapsed() >= limit {
-                return true;
-            }
-        }
-        false
+        self.deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
     /// Signed objective for pruning comparisons (always "minimize").
@@ -942,40 +1013,14 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         var: VarId,
         val: f64,
         bound: f64,
-        basis: Option<Rc<BasisState>>,
+        basis: Option<Arc<BasisState>>,
     ) {
         let vi = var.index();
         let depth = self.arena[t].depth + 1;
-        let floor = val.floor();
-        let ceil = val.ceil();
-        let down_first = val - floor <= ceil - val;
         let key = self.signed(bound);
-        let (plo, phi) = (self.lo[vi], self.hi[vi]);
-        let down_child = (plo <= phi.min(floor)).then(|| TreeNode {
-            parent: t,
-            depth,
-            vi,
-            lo: plo,
-            hi: phi.min(floor),
-            parent_lo: plo,
-            parent_hi: phi,
-        });
-        let up_child = (plo.max(ceil) <= phi).then(|| TreeNode {
-            parent: t,
-            depth,
-            vi,
-            lo: plo.max(ceil),
-            hi: phi,
-            parent_lo: plo,
-            parent_hi: phi,
-        });
-        let (far, near) = if down_first {
-            (up_child, down_child)
-        } else {
-            (down_child, up_child)
-        };
+        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi]);
         let mut entries: Vec<OpenNode> = Vec::with_capacity(2);
-        for child in [far, near].into_iter().flatten() {
+        for child in children.into_iter().flatten() {
             let idx = self.arena.len();
             self.arena.push(child);
             self.seq += 1;
@@ -1006,15 +1051,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
 
     /// The main loop: pop, activate, solve, bound, branch.
     fn run(&mut self) -> Result<(), SolveError> {
-        self.arena.push(TreeNode {
-            parent: usize::MAX,
-            depth: 0,
-            vi: usize::MAX,
-            lo: 0.0,
-            hi: 0.0,
-            parent_lo: 0.0,
-            parent_hi: 0.0,
-        });
+        self.arena.push(TreeNode::root());
         self.frontier.push(OpenNode {
             node: 0,
             key: f64::NEG_INFINITY,
@@ -1117,7 +1154,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
             };
             // Children warm-start from this node's optimal basis
             // (snapshot before the heuristic perturbs the kernel).
-            let my_basis = self.backend.snapshot(self.opts).map(Rc::new);
+            let my_basis = self.backend.snapshot(self.opts).map(Arc::new);
             if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
                 self.offer_incumbent(&relax);
             }
@@ -1136,8 +1173,9 @@ fn run_search<B: LpBackend>(
     opts: &SolverOptions,
     hint: &[(VarId, f64)],
     backend: B,
+    deadline: Option<Instant>,
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
-    let mut core = SearchCore::new(model, opts, backend);
+    let mut core = SearchCore::new(model, opts, backend, deadline);
     core.seed_hint(hint);
     core.run()?;
     core.backend.finish(&mut core.stats);
@@ -1148,7 +1186,7 @@ fn run_search<B: LpBackend>(
 // Shared entry points
 // ---------------------------------------------------------------------------
 
-fn finish(
+pub(crate) fn finish(
     best: Option<Solution>,
     stats: BranchBoundStats,
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
@@ -1203,6 +1241,11 @@ pub fn solve_with_stats_hinted(
     opts: &SolverOptions,
     hint: &[(VarId, f64)],
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
+    // One deadline for the whole solve, captured here and installed on
+    // every kernel the search constructs: N workers (or ladder rebuilds)
+    // share a single wall-clock budget instead of each starting a fresh
+    // one.
+    let deadline = opts.time_limit.map(|limit| Instant::now() + limit);
     // Cheap pre-check before paying for the standard-form build: every
     // integer variable must be boxable (fixed, or finite lower bound).
     let boxable = model
@@ -1231,17 +1274,27 @@ pub fn solve_with_stats_hinted(
             .collect();
         if let Some(int_cols) = int_cols {
             if !form.sf.proven_infeasible && !form.sf.rows.is_empty() {
-                let kernel = Revised::new(&form, opts);
+                let form = Arc::new(form);
+                if opts.workers >= 2 {
+                    return crate::parallel::solve_parallel(
+                        model, opts, hint, form, int_cols, deadline,
+                    );
+                }
+                let mut kernel = Revised::new(&form, opts);
+                kernel.set_deadline(deadline);
                 let backend = WarmBackend {
                     model,
                     form,
                     int_cols,
                     kernel,
                 };
-                return run_search(model, opts, hint, backend);
+                return run_search(model, opts, hint, backend, deadline);
             }
         }
     }
+    // The legacy rebuild-per-node path (dense oracle, unboxable
+    // integers) is always serial: `workers` applies to the warm revised
+    // path only.
     let int_vars: Vec<VarId> = model
         .vars()
         .filter(|(_, v)| v.is_integer())
@@ -1251,7 +1304,7 @@ pub fn solve_with_stats_hinted(
         model: model.clone(),
         int_vars,
     };
-    run_search(model, opts, hint, backend)
+    run_search(model, opts, hint, backend, deadline)
 }
 
 #[cfg(test)]

@@ -84,6 +84,53 @@
 //! either LP backend (warm revised kernel or the rebuild-per-node
 //! legacy/oracle path); see the `branch_bound` module docs.
 //!
+//! # Concurrency model
+//!
+//! [`SolverOptions::workers`]` >= 2` runs the warm revised path as a
+//! **work-stealing parallel branch & bound** (the `parallel` module);
+//! `workers = 1` (the default) routes through the serial core unchanged
+//! and is bit-exact with the historical single-threaded trajectories.
+//! Ownership is strictly layered:
+//!
+//! * **Per worker (exclusive):** one `Revised` kernel with its own
+//!   sparse LU factors, eta file, fault injector, and recovery ladder
+//!   state, plus the worker's locally tracked variable boxes. Nothing
+//!   about LP solving is shared, so no kernel state is ever protected by
+//!   a lock — a worker re-derives a claimed node's boxes from the shared
+//!   branch tree (the same LCA walk the serial core uses) and applies
+//!   them to its private kernel.
+//! * **Shared (read-only):** the standard form behind an `Arc` — built
+//!   once, immutable thereafter.
+//! * **Shared (locked):** the open-node frontier, branch-tree arena, and
+//!   node/time budget behind one mutex; the incumbent behind a second
+//!   mutex. The two are never held simultaneously.
+//!
+//! **Incumbent publication ordering:** the pruning cutoff is mirrored
+//! into an atomic (signed-objective bits) *while the incumbent lock is
+//! held*, with `Release` ordering; the hot pruning path reads it
+//! `Acquire` without locking. Because the cutoff only ever tightens, a
+//! racy read sees at worst a slightly stale (looser) value — a node the
+//! serial search would have pruned may get solved redundantly, but no
+//! node is ever pruned against an incumbent that does not exist. The
+//! same monotonicity argument makes discarding queued nodes at claim
+//! time individually sound: each discarded entry's own bound proves its
+//! subtree useless regardless of what other workers are doing.
+//!
+//! **Why recovery stays worker-local:** the PR 6 ladder mutates the
+//! failing kernel (update-kind switch, cold rebuild, Bland pricing,
+//! dense-oracle rebuild) and its counters describe *that kernel's*
+//! numerical history. Sharing ladder state across workers would couple
+//! one worker's numerical trouble to every other worker's healthy
+//! factors, and would serialize exactly the slow path that most needs to
+//! stay independent. Instead each worker escalates privately and the
+//! merge layer folds the per-worker [`RecoveryStats`] ledgers together
+//! additively at join, so the reported totals keep their serial shape.
+//!
+//! A single wall-clock deadline is captured once at solve start and
+//! installed on every kernel, so N workers share one
+//! [`SolverOptions::time_limit`] budget instead of each getting a fresh
+//! one.
+//!
 //! The original dense full-tableau two-phase simplex is retained as a
 //! **cross-validation oracle** ([`Kernel::DenseTableau`]): an
 //! independent implementation whose objectives and feasibility verdicts
@@ -116,6 +163,7 @@ mod branch_bound;
 mod expr;
 mod factor;
 mod model;
+mod parallel;
 pub mod recover;
 mod revised;
 mod simplex;

@@ -240,6 +240,14 @@ pub struct SolverOptions {
     /// `None` — the default — injects nothing; the recovery ladder and
     /// residual health monitor stay armed either way.
     pub faults: Option<crate::FaultPlan>,
+    /// Branch & bound worker threads. `1` (the default) runs the serial
+    /// search core and is bit-exact with the historical trajectories;
+    /// `>= 2` runs the work-stealing parallel search on the warm revised
+    /// path, where each worker owns its own kernel and factors and
+    /// claims bounded DFS episodes from a shared frontier (see the
+    /// crate-level "Concurrency model" docs). Models that fall back to
+    /// the legacy per-node-rebuild backend ignore this and run serially.
+    pub workers: usize,
 }
 
 impl Default for SolverOptions {
@@ -265,6 +273,7 @@ impl Default for SolverOptions {
             refactor_eta_len: 0,
             refactor_fill_growth: 8.0,
             faults: None,
+            workers: 1,
         }
     }
 }

@@ -1,0 +1,633 @@
+//! Work-stealing parallel branch & bound over the warm revised backend.
+//!
+//! Layering (see also the crate-level "Concurrency model" docs):
+//!
+//! * **Shared frontier** — one [`Frontier`] (best-bound heap or DFS
+//!   stack, per [`SolverOptions::node_order`]) plus the branch-tree
+//!   arena, the node/time budget, and the `node_bounds` telemetry, all
+//!   behind a single `Mutex` with a `Condvar` for idle workers. The
+//!   incumbent lives behind its *own* `Mutex`, with the pruning cutoff
+//!   mirrored into an atomic (signed-objective bits) so the hot pruning
+//!   path never takes a lock. The two locks are never held at once.
+//!
+//! * **Worker layer** — each worker owns a full [`WarmBackend`]: its own
+//!   [`crate::revised::Revised`] kernel, sparse factors, fault injector,
+//!   and recovery ladder, sharing only the read-only `Arc<BoxedForm>`.
+//!   A worker claims one open node from the frontier and runs it as a
+//!   bounded DFS **episode** (the serial core's dive mechanism is the
+//!   unit of work): children bypass the queue onto a worker-local dive
+//!   stack until the episode cap trips, whereupon the leftovers — each
+//!   carrying its own bound key and parent-basis `Arc` — are flushed
+//!   back to the shared frontier for any worker to steal. Node boxes are
+//!   re-derived per worker by the same LCA tree walk the serial core
+//!   uses, reading the shared arena under the lock but applying the box
+//!   mutations to the worker's private kernel.
+//!
+//! * **Merge layer** — every worker accumulates a private
+//!   [`BranchBoundStats`]; at join they are folded additively (counters
+//!   sum, peaks max, recovery ledgers absorb) into the single stats
+//!   struct the serial search produces, so `report.rs`, Table-1
+//!   rendering, and `BENCH_milp.json` records keep their shape.
+//!
+//! Termination: a worker that finds the frontier empty while
+//! `outstanding == 0` (no episode still running that could flush more
+//! work) declares the search done. Frontier entries whose bound cannot
+//! beat the cutoff are discarded unsolved at claim time — each discard
+//! is individually sound (its bound alone proves the subtree useless),
+//! so no global agreement is needed. Budget exhaustion (shared node cap
+//! or the single shared deadline) marks the search truncated and stops
+//! every worker at its next claim.
+//!
+//! Only the warm revised path parallelizes; `workers <= 1` and the
+//! legacy rebuild-per-node backend route through the serial
+//! [`crate::branch_bound`] core unchanged, which is what makes
+//! `workers = 1` bit-exact with the historical trajectories.
+
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::branch_bound::{
+    branch_children, finish, BranchBoundStats, Frontier, LpBackend, OpenNode, TreeNode, WarmBackend,
+};
+use crate::expr::VarId;
+use crate::model::{Model, Sense, SolverOptions};
+use crate::revised::Revised;
+use crate::solution::{Solution, SolveError};
+use crate::standard::BoxedForm;
+
+/// Search-wide state behind the frontier lock.
+struct Shared {
+    frontier: Frontier,
+    /// The branch tree. Append-only; indices are stable, so workers can
+    /// cache arena indices (`cur`) across lock drops.
+    arena: Vec<TreeNode>,
+    /// Episodes currently running — claims that have not yet returned.
+    /// The frontier being empty proves nothing while this is non-zero:
+    /// any running episode may still flush leftovers back.
+    outstanding: usize,
+    /// Nodes claimed so far (the shared node budget).
+    nodes: usize,
+    truncated: bool,
+    done: bool,
+    err: Option<SolveError>,
+    root_bound: f64,
+    root_solved: bool,
+    queue_peak: usize,
+    /// Slot per claimed node, indexed by claim order; written when the
+    /// node's LP concludes (claim order ≠ completion order).
+    node_bounds: Vec<f64>,
+    /// Push sequence for heap tie-breaking.
+    seq: usize,
+}
+
+/// Incumbent state, separate from [`Shared`] so accepting an incumbent
+/// never blocks node claims. The pruning cutoff is mirrored into
+/// [`Ctx::cutoff`] *while this lock is held*, so the atomic only ever
+/// tightens and a racy read sees, at worst, a slightly stale (looser)
+/// cutoff — which can never prune a node the serial search would keep.
+struct Incumbent {
+    best: Option<Solution>,
+    incumbents: usize,
+    first_incumbent_node: usize,
+    incumbent_trace: Vec<(usize, f64)>,
+}
+
+/// Everything the workers share.
+struct Ctx<'m> {
+    model: &'m Model,
+    opts: &'m SolverOptions,
+    int_vars: Vec<VarId>,
+    sense_mul: f64,
+    /// The single wall-clock deadline, captured once at solve start.
+    deadline: Option<Instant>,
+    shared: Mutex<Shared>,
+    idle: Condvar,
+    incumbent: Mutex<Incumbent>,
+    /// Bits of the signed incumbent objective (`+inf` = no incumbent).
+    cutoff: AtomicU64,
+}
+
+impl Ctx<'_> {
+    fn signed(&self, obj: f64) -> f64 {
+        self.sense_mul * obj
+    }
+
+    fn cutoff(&self) -> f64 {
+        f64::from_bits(self.cutoff.load(AtomicOrdering::Acquire))
+    }
+
+    fn out_of_clock(&self) -> bool {
+        self.deadline.is_some_and(|dl| Instant::now() >= dl)
+    }
+
+    /// Offers `candidate` as an incumbent (must be integral to win) and
+    /// returns whether it was installed. On improvement the atomic
+    /// cutoff is tightened before the lock drops; the gap check against
+    /// the root bound runs afterwards (separate lock) and may end the
+    /// whole search.
+    fn accept(&self, candidate: Solution, node_idx: usize) -> bool {
+        let integral = self.int_vars.iter().all(|&v| {
+            let x = candidate.value(v);
+            (x - x.round()).abs() <= self.opts.int_tol
+        });
+        if !integral {
+            return false;
+        }
+        let installed = {
+            let mut inc = self.incumbent.lock().unwrap();
+            let better = match &inc.best {
+                None => true,
+                Some(b) => self.signed(candidate.objective) < self.signed(b.objective) - 1e-9,
+            };
+            if better {
+                if inc.incumbents == 0 {
+                    inc.first_incumbent_node = node_idx;
+                }
+                inc.incumbents += 1;
+                inc.incumbent_trace.push((node_idx, candidate.objective));
+                self.cutoff.store(
+                    self.signed(candidate.objective).to_bits(),
+                    AtomicOrdering::Release,
+                );
+                inc.best = Some(candidate);
+            }
+            better
+        };
+        if installed && self.within_gap() {
+            let mut sh = self.shared.lock().unwrap();
+            sh.done = true;
+            drop(sh);
+            self.idle.notify_all();
+        }
+        installed
+    }
+
+    /// Relative gap of the current incumbent against the root LP bound
+    /// (the serial core's stopping rule, evaluated on the shared state).
+    fn within_gap(&self) -> bool {
+        let (root_bound, root_solved) = {
+            let sh = self.shared.lock().unwrap();
+            (sh.root_bound, sh.root_solved)
+        };
+        if !root_solved {
+            return false;
+        }
+        let inc = {
+            let inc = self.incumbent.lock().unwrap();
+            match &inc.best {
+                Some(b) => self.signed(b.objective),
+                None => return false,
+            }
+        };
+        inc - self.signed(root_bound) <= self.opts.gap_tol * inc.abs().max(1.0)
+    }
+}
+
+/// One worker: a private backend plus the locally tracked box state
+/// (`lo`/`hi`/`cur`) that mirrors whatever tree node its kernel
+/// currently has applied.
+struct Worker<'c, 'm> {
+    ctx: &'c Ctx<'m>,
+    backend: WarmBackend<'m>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Arena index of the node whose boxes this worker's kernel has
+    /// applied.
+    cur: usize,
+    stats: BranchBoundStats,
+    /// Shorter than the serial cap: episodes are also the unit of load
+    /// balancing, so with more workers each claim hands work back to
+    /// the frontier sooner.
+    episode_cap: usize,
+}
+
+impl Worker<'_, '_> {
+    /// Claims an open node, discarding prunable entries unsolved, or
+    /// waits until one appears. `None` = the search is over.
+    fn claim(&self) -> Option<OpenNode> {
+        let ctx = self.ctx;
+        let mut sh = ctx.shared.lock().unwrap();
+        loop {
+            if sh.done || sh.err.is_some() {
+                return None;
+            }
+            let cutoff = ctx.cutoff();
+            while let Some(o) = sh.frontier.pop() {
+                if o.key >= cutoff - 1e-9 {
+                    // Its bound alone proves the subtree useless —
+                    // individually sound, no global agreement needed.
+                    continue;
+                }
+                sh.outstanding += 1;
+                return Some(o);
+            }
+            if sh.outstanding == 0 {
+                // Nothing queued and nobody who could queue more.
+                sh.done = true;
+                drop(sh);
+                ctx.idle.notify_all();
+                return None;
+            }
+            sh = ctx.idle.wait(sh).unwrap();
+        }
+    }
+
+    /// The serial core's LCA walk, read-only: collects the box
+    /// mutations that switch this worker from `self.cur` to `t` into
+    /// `ops` (in application order) and returns `t`'s depth. Runs under
+    /// the shared lock (the arena is append-only but `Vec` growth moves
+    /// it); the collected ops are applied to the private kernel after
+    /// the lock drops.
+    fn path_ops(&self, arena: &[TreeNode], t: usize, ops: &mut Vec<(usize, f64, f64)>) -> usize {
+        let mut a = self.cur;
+        let mut b = t;
+        let mut down: Vec<usize> = Vec::new();
+        while arena[a].depth > arena[b].depth {
+            ops.push((arena[a].vi, arena[a].parent_lo, arena[a].parent_hi));
+            a = arena[a].parent;
+        }
+        while arena[b].depth > arena[a].depth {
+            down.push(b);
+            b = arena[b].parent;
+        }
+        while a != b {
+            ops.push((arena[a].vi, arena[a].parent_lo, arena[a].parent_hi));
+            a = arena[a].parent;
+            down.push(b);
+            b = arena[b].parent;
+        }
+        for &n in down.iter().rev() {
+            ops.push((arena[n].vi, arena[n].lo, arena[n].hi));
+        }
+        arena[t].depth
+    }
+
+    /// Branching variable: highest priority class, most fractional
+    /// within it (identical to the serial core).
+    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
+        let ctx = self.ctx;
+        let mut best: Option<(VarId, f64)> = None;
+        let mut best_key = (i32::MIN, ctx.opts.int_tol);
+        for &v in &ctx.int_vars {
+            let val = sol.value(v);
+            let frac = (val - val.round()).abs();
+            if frac <= ctx.opts.int_tol {
+                continue;
+            }
+            let key = (ctx.model.var(v).priority(), frac);
+            if key > best_key {
+                best_key = key;
+                best = Some((v, val));
+            }
+        }
+        best
+    }
+
+    /// Round-and-fix heuristic on this worker's kernel; the candidate is
+    /// offered through the shared incumbent lock.
+    fn offer_incumbent(&mut self, sol: &Solution, node_idx: usize) {
+        let ctx = self.ctx;
+        let mut pins: Vec<(usize, f64)> = Vec::with_capacity(ctx.int_vars.len());
+        let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(ctx.int_vars.len());
+        for &v in &ctx.int_vars {
+            let vi = v.index();
+            if !self.backend.branchable(vi) {
+                continue;
+            }
+            let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
+            pins.push((vi, val));
+            restore.push((vi, self.lo[vi], self.hi[vi]));
+        }
+        let candidate = self
+            .backend
+            .round_and_fix(ctx.opts, &pins, &restore, sol, &mut self.stats);
+        ctx.accept(candidate, node_idx);
+    }
+
+    /// Queues the children of an expanded node onto the episode's dive
+    /// stack. Must be called with the shared lock held (arena append).
+    fn expand(
+        &self,
+        sh: &mut Shared,
+        t: usize,
+        (var, val): (VarId, f64),
+        bound: f64,
+        basis: &Option<Arc<crate::revised::BasisState>>,
+        dive: &mut Vec<OpenNode>,
+    ) {
+        let vi = var.index();
+        let key = self.ctx.signed(bound);
+        let depth = sh.arena[t].depth + 1;
+        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi]);
+        for child in children.into_iter().flatten() {
+            let idx = sh.arena.len();
+            sh.arena.push(child);
+            sh.seq += 1;
+            dive.push(OpenNode {
+                node: idx,
+                key,
+                seq: sh.seq,
+                basis: basis.clone(),
+            });
+        }
+        // Telemetry approximation: the shared queue plus this worker's
+        // dive (other workers' in-flight dives are not counted).
+        let open_now = sh.frontier.len() + dive.len();
+        sh.queue_peak = sh.queue_peak.max(open_now);
+    }
+
+    /// Runs one claimed node as a bounded DFS episode. Returns `false`
+    /// when the worker should stop claiming (search done or hard error).
+    ///
+    /// The hot path costs exactly two shared-lock acquisitions per node:
+    /// one to claim a budget unit and read the activation path, one to
+    /// publish the bound and append the children.
+    fn episode(&mut self, root: OpenNode) -> bool {
+        let ctx = self.ctx;
+        let mut dive: Vec<OpenNode> = vec![root];
+        let mut ops: Vec<(usize, f64, f64)> = Vec::new();
+        let mut solved = 0usize;
+        while let Some(open) = dive.pop() {
+            if open.key >= ctx.cutoff() - 1e-9 {
+                continue; // discarded unsolved, like the serial dive
+            }
+            // Lock 1: claim one unit of the shared node budget and read
+            // the box mutations that move this kernel to the node.
+            ops.clear();
+            let (node_idx, depth) = {
+                let mut sh = ctx.shared.lock().unwrap();
+                if sh.done || sh.err.is_some() {
+                    return false;
+                }
+                if sh.nodes >= ctx.opts.max_nodes || ctx.out_of_clock() {
+                    sh.truncated = true;
+                    sh.done = true;
+                    drop(sh);
+                    ctx.idle.notify_all();
+                    return false;
+                }
+                sh.nodes += 1;
+                sh.node_bounds.push(f64::NAN);
+                let depth = self.path_ops(&sh.arena, open.node, &mut ops);
+                (sh.nodes - 1, depth)
+            };
+            for &(vi, lo, hi) in &ops {
+                self.lo[vi] = lo;
+                self.hi[vi] = hi;
+                self.backend.set_var_box(vi, lo, hi);
+            }
+            self.cur = open.node;
+            let relax =
+                match self
+                    .backend
+                    .solve_node(ctx.opts, open.basis.as_deref(), &mut self.stats)
+                {
+                    Ok(sol) => sol,
+                    Err(SolveError::Infeasible) => continue, // bound slot stays NaN
+                    Err(SolveError::IterationLimit) | Err(SolveError::Numerical(_)) => {
+                        // No usable bound for this subtree: prune it, keep
+                        // whatever incumbent exists, mark the run truncated.
+                        let mut sh = ctx.shared.lock().unwrap();
+                        sh.truncated = true;
+                        continue;
+                    }
+                    Err(e) => {
+                        let mut sh = ctx.shared.lock().unwrap();
+                        if sh.err.is_none() {
+                            sh.err = Some(e);
+                        }
+                        sh.done = true;
+                        drop(sh);
+                        ctx.idle.notify_all();
+                        return false;
+                    }
+                };
+            solved += 1;
+            let pruned = ctx.signed(relax.objective) >= ctx.cutoff() - 1e-9;
+            // Branching decision and basis snapshot are pure local work.
+            let branch = if pruned {
+                None
+            } else {
+                self.most_fractional(&relax)
+            };
+            let heuristic_due = ctx.opts.rounding_heuristic
+                && branch.is_some()
+                && (depth == 0 || depth.is_multiple_of(8));
+            // Children warm-start from this node's optimal basis
+            // (snapshot before the heuristic perturbs the kernel).
+            let my_basis = if branch.is_some() {
+                self.backend.snapshot(ctx.opts).map(Arc::new)
+            } else {
+                None
+            };
+            if heuristic_due {
+                self.offer_incumbent(&relax, node_idx + 1);
+            }
+            // Lock 2: publish the bound; append the children.
+            {
+                let mut sh = ctx.shared.lock().unwrap();
+                sh.node_bounds[node_idx] = relax.objective;
+                if depth == 0 {
+                    sh.root_bound = relax.objective;
+                    sh.root_solved = true;
+                }
+                if let Some(bv) = branch {
+                    self.expand(
+                        &mut sh,
+                        open.node,
+                        bv,
+                        relax.objective,
+                        &my_basis,
+                        &mut dive,
+                    );
+                }
+            }
+            if branch.is_none() && !pruned {
+                // Integral leaf: the relaxation point is the optimal
+                // incumbent for this box.
+                ctx.accept(relax, node_idx + 1);
+                continue;
+            }
+            if solved >= self.episode_cap && !dive.is_empty() {
+                // Episode over: hand the leftovers to the frontier so
+                // idle workers can steal them.
+                let mut sh = ctx.shared.lock().unwrap();
+                for e in dive.drain(..) {
+                    sh.frontier.push(e);
+                }
+                sh.queue_peak = sh.queue_peak.max(sh.frontier.len());
+                drop(sh);
+                ctx.idle.notify_all();
+                return true;
+            }
+        }
+        true
+    }
+
+    /// The worker main loop: claim, run the episode, retire the claim.
+    fn run(&mut self) {
+        while let Some(open) = self.claim() {
+            let keep_going = self.episode(open);
+            let mut sh = self.ctx.shared.lock().unwrap();
+            sh.outstanding -= 1;
+            if sh.outstanding == 0 && sh.frontier.len() == 0 {
+                sh.done = true;
+            }
+            drop(sh);
+            self.ctx.idle.notify_all();
+            if !keep_going {
+                return;
+            }
+        }
+    }
+}
+
+/// Entry point from [`crate::branch_bound::solve_with_stats_hinted`]:
+/// the warm revised path with `opts.workers >= 2`.
+pub(crate) fn solve_parallel(
+    model: &Model,
+    opts: &SolverOptions,
+    hint: &[(VarId, f64)],
+    form: Arc<BoxedForm>,
+    int_cols: Vec<Option<(usize, f64)>>,
+    deadline: Option<Instant>,
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let workers = opts.workers;
+    let int_vars: Vec<VarId> = model
+        .vars()
+        .filter(|(_, v)| v.is_integer())
+        .map(|(id, _)| id)
+        .collect();
+    let int_count = int_vars.len();
+    let arena = vec![TreeNode::root()];
+    let mut frontier = Frontier::new(opts.node_order);
+    frontier.push(OpenNode {
+        node: 0,
+        key: f64::NEG_INFINITY,
+        seq: 0,
+        basis: None,
+    });
+    let ctx = Ctx {
+        model,
+        opts,
+        int_vars,
+        sense_mul: match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        },
+        deadline,
+        shared: Mutex::new(Shared {
+            frontier,
+            arena,
+            outstanding: 0,
+            nodes: 0,
+            truncated: false,
+            done: false,
+            err: None,
+            root_bound: 0.0,
+            root_solved: false,
+            queue_peak: 1,
+            node_bounds: Vec::new(),
+            seq: 0,
+        }),
+        idle: Condvar::new(),
+        incumbent: Mutex::new(Incumbent {
+            best: None,
+            incumbents: 0,
+            first_incumbent_node: 0,
+            incumbent_trace: Vec::new(),
+        }),
+        cutoff: AtomicU64::new(f64::INFINITY.to_bits()),
+    };
+    // The serial cap (one integral leaf per episode) divided across the
+    // workers, so early episodes start feeding the frontier quickly.
+    let episode_cap = (64.max(2 * int_count) / workers).max(8);
+    let mut pool: Vec<Worker> = (0..workers)
+        .map(|_| {
+            let mut kernel = Revised::new(&form, opts);
+            kernel.set_deadline(deadline);
+            Worker {
+                ctx: &ctx,
+                backend: WarmBackend {
+                    model,
+                    form: Arc::clone(&form),
+                    int_cols: int_cols.clone(),
+                    kernel,
+                },
+                lo: model.vars.iter().map(|v| v.lower).collect(),
+                hi: model.vars.iter().map(|v| v.upper).collect(),
+                cur: 0,
+                stats: BranchBoundStats {
+                    order: opts.node_order,
+                    ..BranchBoundStats::default()
+                },
+                episode_cap,
+            }
+        })
+        .collect();
+    // Hint seeding runs serially on worker 0 before any thread spawns
+    // (it may install the first incumbent and tighten the cutoff).
+    if !hint.is_empty() {
+        let w0 = &mut pool[0];
+        let mut pins: Vec<(usize, f64)> = Vec::with_capacity(hint.len());
+        let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(hint.len());
+        for &(v, val) in hint {
+            let vi = v.index();
+            if !model.var(v).is_integer() || !w0.backend.branchable(vi) {
+                continue;
+            }
+            let val = val.round().clamp(w0.lo[vi], w0.hi[vi]);
+            pins.push((vi, val));
+            restore.push((vi, w0.lo[vi], w0.hi[vi]));
+        }
+        if let Some(sol) = w0.backend.seed_hint(opts, &pins, &restore, &mut w0.stats) {
+            ctx.accept(sol, 0);
+        }
+    }
+    let worker_stats: Vec<BranchBoundStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = pool
+            .into_iter()
+            .map(|mut w| {
+                s.spawn(move || {
+                    w.run();
+                    let mut stats = w.stats;
+                    w.backend.finish(&mut stats);
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Merge layer: counters sum, peaks max, recovery ledgers absorb.
+    let mut stats = BranchBoundStats {
+        order: opts.node_order,
+        ..BranchBoundStats::default()
+    };
+    for w in &worker_stats {
+        stats.simplex_iters += w.simplex_iters;
+        stats.warm_solves += w.warm_solves;
+        stats.cold_solves += w.cold_solves;
+        stats.refactors += w.refactors;
+        stats.ft_updates += w.ft_updates;
+        stats.forced_refactors += w.forced_refactors;
+        stats.peak_u_nnz = stats.peak_u_nnz.max(w.peak_u_nnz);
+        stats.peak_lu_nnz = stats.peak_lu_nnz.max(w.peak_lu_nnz);
+        stats.basis_rows = stats.basis_rows.max(w.basis_rows);
+        stats.recovery.absorb(&w.recovery);
+    }
+    let shared = ctx.shared.into_inner().unwrap();
+    if let Some(e) = shared.err {
+        return Err(e);
+    }
+    stats.nodes = shared.nodes;
+    stats.truncated = shared.truncated;
+    stats.root_bound = shared.root_bound;
+    stats.queue_peak = shared.queue_peak;
+    stats.node_bounds = shared.node_bounds;
+    let inc = ctx.incumbent.into_inner().unwrap();
+    stats.incumbents = inc.incumbents;
+    stats.first_incumbent_node = inc.first_incumbent_node;
+    stats.incumbent_trace = inc.incumbent_trace;
+    finish(inc.best, stats)
+}

@@ -191,6 +191,15 @@ impl Revised {
         self.deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
+    /// Overrides the wall-clock deadline. [`Revised::new`] starts a
+    /// fresh budget from "now"; branch & bound instead captures **one**
+    /// deadline at solve start and installs it on every kernel it
+    /// constructs — N search workers (or ladder rebuilds) must share a
+    /// single budget, not each get the full one.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     /// `(rows, real columns)` of the LP.
     pub fn dims(&self) -> (usize, usize) {
         (self.m, self.n)

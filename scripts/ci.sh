@@ -43,9 +43,18 @@ cargo test -q --offline --test search_orders
 echo "==> cargo test --test fault_injection (fixed-seed recovery-ladder gate)"
 cargo test -q --offline --release --test fault_injection
 
+# The parallel-search determinism gate: workers=1 must reproduce the
+# serial goldens bit-exact, workers∈{2,4} must prove identical optima
+# and verdicts on every completed Table-1 instance, and fault-injected
+# parallel runs must agree with their clean twins. Run in release: the
+# suite solves every instance at three worker counts.
+echo "==> cargo test --test parallel_search (parallel-search determinism gate)"
+cargo test -q --offline --release --test parallel_search
+
 # Bench code must at least compile so the perf harness can't silently
 # rot between PRs (running the benches stays a manual/nightly job); this
-# also covers the ordering A/B arm of milp_scaling (ordering_comparison).
+# also covers the ordering and parallel A/B arms of milp_scaling
+# (ordering_comparison, parallel_comparison).
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 
