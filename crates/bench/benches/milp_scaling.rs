@@ -28,7 +28,7 @@ use std::time::Instant;
 use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::milp_bench_instance as instance;
 use rr_core::{formulation, CoreOptions};
-use rr_milp::{FactorKind, FaultPlan, Kernel, NodeOrder, RecoveryStats, UpdateKind};
+use rr_milp::{Branching, FactorKind, FaultPlan, Kernel, NodeOrder, RecoveryStats, UpdateKind};
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
 
@@ -156,6 +156,12 @@ fn measure_order(
     opts.solver.max_nodes = max_nodes;
     opts.solver.node_order = order;
     opts.solver.factor = factor;
+    // Pinned to the historical regime: pseudo-cost branching closes
+    // these instances in a handful of nodes, which would erase the
+    // ordering effect this A/B tracks (branching has its own A/B in
+    // `branching_comparison`).
+    opts.solver.branching = Branching::MostFractional;
+    opts.cuts = false;
     let t0 = Instant::now();
     let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -236,6 +242,120 @@ fn ordering_comparison(_c: &mut Criterion) {
         disagreements.is_empty(),
         "node-ordering regression (records already in BENCH_milp.json):\n{}",
         disagreements.join("\n")
+    );
+}
+
+/// One branching-rule measurement of `MAX_THR` at a fixed node cap (no
+/// wall clock, so the run is deterministic).
+struct BranchingMeasurement {
+    record: JsonRecord,
+    objective: f64,
+    nodes: usize,
+    truncated: bool,
+    proven: bool,
+}
+
+fn measure_branching(
+    name: &str,
+    g: &Rrg,
+    branching: Branching,
+    cuts: bool,
+    max_nodes: usize,
+) -> BranchingMeasurement {
+    let mut opts = CoreOptions::fast();
+    opts.solver.time_limit = None;
+    opts.solver.max_nodes = max_nodes;
+    opts.solver.factor = FactorKind::Sparse;
+    opts.solver.branching = branching;
+    opts.cuts = cuts;
+    let t0 = Instant::now();
+    let out = formulation::max_thr(g, g.max_delay(), &opts).expect("MAX_THR solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let label = match branching {
+        Branching::MostFractional => "most_fractional",
+        Branching::PseudoCost => "pseudo_cost",
+    };
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "max_thr_branching")
+        .str("instance", name)
+        .str("branching", label)
+        .int("cuts", u64::from(cuts))
+        .int("node_cap", max_nodes as u64)
+        .num("wall_ms", wall_ms)
+        .num("objective", out.objective)
+        .int("nodes", out.stats.nodes as u64)
+        .int("pivots", out.stats.simplex_iters as u64)
+        .int("strong_branches", out.stats.strong_branches as u64)
+        .int("pseudo_updates", out.stats.pseudo_updates as u64)
+        .int("cuts_added", out.stats.cuts_added as u64)
+        .int("cuts_activated", out.stats.cuts_activated as u64)
+        .num("dual_bound", out.stats.dual_bound)
+        .int("truncated", u64::from(out.stats.truncated));
+    BranchingMeasurement {
+        record,
+        objective: out.objective,
+        nodes: out.stats.nodes,
+        truncated: out.stats.truncated,
+        proven: out.proven_optimal,
+    }
+}
+
+/// The branching-rule A/B — the PR 8 search-strength contract: on the
+/// 40-edge `MAX_THR` bench at the 1000-node cap and on the s27 Table-2
+/// profile, pseudo-cost branching with cycle-sum cuts must prove
+/// optimality in **strictly fewer** expanded nodes than most-fractional
+/// manages at the same budget (most-fractional truncates both). Records
+/// land in `BENCH_milp.json` before the assertions, so a regression
+/// fails loudly with the evidence on disk.
+fn branching_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+    let s27 = rr_rrg::iscas::IscasProfile::by_name("s27")
+        .expect("s27 is a Table-2 profile")
+        .generate(2009);
+    let cases: [(&str, &Rrg, usize); 2] = [("bench40", &instance(40), 1000), ("s27", &s27, 20_000)];
+    for (name, g, cap) in cases {
+        let mf = measure_branching(name, g, Branching::MostFractional, false, cap);
+        let pc = measure_branching(name, g, Branching::PseudoCost, true, cap);
+        println!(
+            "branching comparison: max_thr {name} @ {cap} nodes: \
+             most_fractional obj {} in {} nodes{} vs pseudo_cost+cuts obj {} in {} nodes{}",
+            mf.objective,
+            mf.nodes,
+            if mf.truncated { " (truncated)" } else { "" },
+            pc.objective,
+            pc.nodes,
+            if pc.truncated { " (truncated)" } else { "" },
+        );
+        records.push(mf.record.clone());
+        records.push(pc.record.clone());
+        if pc.nodes >= mf.nodes {
+            regressions.push(format!(
+                "max_thr {name}: pseudo-cost + cuts expanded {} nodes, most-fractional {} — \
+                 the search-strength contract is broken",
+                pc.nodes, mf.nodes
+            ));
+        }
+        if !pc.proven {
+            regressions.push(format!(
+                "max_thr {name}: pseudo-cost + cuts no longer proves optimality at the \
+                 {cap}-node cap"
+            ));
+        }
+        // MAX_THR minimizes x: the stronger search must never return a
+        // worse incumbent at the same budget.
+        if pc.objective > mf.objective + 1e-7 {
+            regressions.push(format!(
+                "max_thr {name}: pseudo-cost incumbent {} worse than most-fractional {}",
+                pc.objective, mf.objective
+            ));
+        }
+    }
+    append(&records);
+    assert!(
+        regressions.is_empty(),
+        "branching regression (records already in BENCH_milp.json):\n{}",
+        regressions.join("\n")
     );
 }
 
@@ -775,6 +895,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default();
     targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison,
-        update_comparison, fault_comparison, parallel_comparison
+        branching_comparison, update_comparison, fault_comparison, parallel_comparison
 }
 criterion_main!(benches);

@@ -56,6 +56,13 @@ pub struct HarnessArgs {
     /// Branch & bound worker threads per MILP (`--workers N`); `1`
     /// keeps the serial, bit-reproducible search.
     pub workers: usize,
+    /// Per-MILP node budget (`--max-nodes N`), the deterministic
+    /// alternative to the wall clock that the CI sweep gate uses.
+    pub max_nodes: Option<usize>,
+    /// Minimum number of circuits that must complete (prove optimality
+    /// or reach the configured gap) for the run to exit 0
+    /// (`--require-complete K`); `table2` enforces it.
+    pub require_complete: Option<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -68,6 +75,8 @@ impl Default for HarnessArgs {
             only: Vec::new(),
             verbose: false,
             workers: 1,
+            max_nodes: None,
+            require_complete: None,
         }
     }
 }
@@ -114,10 +123,25 @@ impl HarnessArgs {
                         .parse()
                         .expect("workers must be an integer")
                 }
+                "--max-nodes" => {
+                    out.max_nodes = Some(
+                        take("--max-nodes")
+                            .parse()
+                            .expect("max-nodes must be an integer"),
+                    )
+                }
+                "--require-complete" => {
+                    out.require_complete = Some(
+                        take("--require-complete")
+                            .parse()
+                            .expect("require-complete must be an integer"),
+                    )
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --seed N --max-edges N --full-size --time-limit SECS \
-                         --horizon CYCLES --only s526,s27 --workers N --verbose"
+                         --horizon CYCLES --only s526,s27 --workers N --max-nodes N \
+                         --require-complete K --verbose"
                     );
                     std::process::exit(0);
                 }
@@ -133,6 +157,7 @@ impl HarnessArgs {
             solver: SolverOptions {
                 time_limit: Some(Duration::from_secs(self.time_limit_secs)),
                 workers: self.workers,
+                max_nodes: self.max_nodes.unwrap_or(SolverOptions::default().max_nodes),
                 ..Default::default()
             },
             sim: SimParams {
@@ -155,6 +180,17 @@ impl HarnessArgs {
     /// Whether a circuit is selected by `--only`.
     pub fn selected(&self, name: &str) -> bool {
         self.only.is_empty() || self.only.iter().any(|n| n == name)
+    }
+
+    /// The `--only` names that match nothing in `known`. A non-empty
+    /// result means the sweep would silently run on an empty selection;
+    /// binaries must fail loudly instead.
+    pub fn unknown_only(&self, known: &[&str]) -> Vec<String> {
+        self.only
+            .iter()
+            .filter(|n| !known.contains(&n.as_str()))
+            .cloned()
+            .collect()
     }
 }
 
@@ -269,5 +305,27 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_panics() {
         args(&["--bogus"]);
+    }
+
+    #[test]
+    fn node_budget_flags_reach_solver_options() {
+        let a = args(&["--max-nodes", "5000", "--require-complete", "12"]);
+        assert_eq!(a.max_nodes, Some(5000));
+        assert_eq!(a.require_complete, Some(12));
+        assert_eq!(a.core_options().solver.max_nodes, 5000);
+        // Unset keeps the solver default rather than an accidental zero.
+        let d = args(&[]);
+        assert_eq!(
+            d.core_options().solver.max_nodes,
+            rr_milp::SolverOptions::default().max_nodes
+        );
+    }
+
+    #[test]
+    fn unknown_only_names_are_reported() {
+        let a = args(&["--only", "s27,s9999,sXYZ"]);
+        assert_eq!(a.unknown_only(&["s27", "s526"]), vec!["s9999", "sXYZ"]);
+        assert!(args(&["--only", "s27"]).unknown_only(&["s27"]).is_empty());
+        assert!(args(&[]).unknown_only(&["s27"]).is_empty());
     }
 }

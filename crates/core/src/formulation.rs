@@ -123,7 +123,14 @@ struct Built {
 /// `fix_buffers` freezes `R'` to a given assignment (used for the
 /// fixed-configuration cross-check against the direct LP bound; the
 /// retiming link is dropped since tokens influence nothing else).
-fn build(g: &Rrg, tau_mode: Mode, x_mode: Mode, fix_buffers: Option<&[i64]>) -> Built {
+///
+/// `cuts` adds retiming cycle-sum cuts when τ is a constant and buffers
+/// are free: any configuration with cycle time ≤ τ places at least
+/// `⌈D(C)/τ⌉` buffers on every cycle `C` (delay sum `D(C)`), while the
+/// LP relaxation only implies the token sum of the retiming link rows —
+/// the cuts carry that weak rhs in the standard form and branch & bound
+/// activates the ceiling rhs lazily where it is violated.
+fn build(g: &Rrg, tau_mode: Mode, x_mode: Mode, fix_buffers: Option<&[i64]>, cuts: bool) -> Built {
     let bounds = bounds_of(g);
     let skeleton = TgmgSkeleton::of(g);
     let mut m = Model::new(Sense::Minimize);
@@ -261,6 +268,30 @@ fn build(g: &Rrg, tau_mode: Mode, x_mode: Mode, fix_buffers: Option<&[i64]>) -> 
                     expr += gam * marking_hat(edge, w);
                 }
                 m.add_constraint(expr, cmp::GE, 0.0);
+            }
+        }
+    }
+
+    // --- cycle-sum cuts (MAX_THR only: τ constant, buffers free) ------
+    if cuts && fix_buffers.is_none() {
+        if let (Mode::Const(tau), _) = (tau_mode, x_mode) {
+            if tau > 1e-12 {
+                for cycle in rr_rrg::algo::fundamental_cycles(g, 2 * g.num_edges()) {
+                    let delay: f64 = cycle
+                        .iter()
+                        .map(|&e| g.node(g.edge(e).source()).delay())
+                        .sum();
+                    let weak: f64 = cycle.iter().map(|&e| g.edge(e).tokens() as f64).sum();
+                    let strong = (delay / tau - 1e-9).ceil().max(weak);
+                    if strong <= weak + 0.5 {
+                        continue; // the LP-implied token sum already covers it
+                    }
+                    let mut expr = LinExpr::new();
+                    for &e in &cycle {
+                        expr += LinExpr::var(buf[e.index()]);
+                    }
+                    m.add_cut(expr, weak, strong);
+                }
             }
         }
     }
@@ -403,7 +434,7 @@ fn extract(g: &Rrg, built: &Built, sol: &Solution) -> Result<Config, OptError> {
 /// Panics if `x < 1` (throughput cannot exceed one token per cycle).
 pub fn min_cyc(g: &Rrg, x: f64, opts: &CoreOptions) -> Result<OptOutcome, OptError> {
     assert!(x >= 1.0 - 1e-9, "x = 1/Θ must be at least 1");
-    let built = build(g, Mode::Variable, Mode::Const(x), None);
+    let built = build(g, Mode::Variable, Mode::Const(x), None, opts.cuts);
     let hint = warm_start(g, &built, Repair::Throughput { x }, opts);
     let (sol, stats) = solve_with_stats_hinted(&built.model, &opts.solver, &hint)?;
     let config = extract(g, &built, &sol)?;
@@ -422,7 +453,7 @@ pub fn min_cyc(g: &Rrg, x: f64, opts: &CoreOptions) -> Result<OptOutcome, OptErr
 ///
 /// See [`min_cyc`]; infeasible only if `τ < β_max`.
 pub fn max_thr(g: &Rrg, tau: f64, opts: &CoreOptions) -> Result<OptOutcome, OptError> {
-    let built = build(g, Mode::Const(tau), Mode::Variable, None);
+    let built = build(g, Mode::Const(tau), Mode::Variable, None, opts.cuts);
     let hint = warm_start(g, &built, Repair::Timing { tau }, opts);
     let (sol, stats) = solve_with_stats_hinted(&built.model, &opts.solver, &hint)?;
     let config = extract(g, &built, &sol)?;
@@ -451,6 +482,7 @@ pub fn min_x_for_buffers(g: &Rrg, buffers: &[i64], opts: &CoreOptions) -> Result
         Mode::Const(bounds_of(g).tau_star),
         Mode::Variable,
         Some(buffers),
+        false,
     );
     let sol = built.model.solve_with(&opts.solver)?;
     Ok(sol.value(built.x.expect("x is the objective")))
@@ -469,7 +501,7 @@ mod tests {
             let g = rr_rrg::iscas::IscasProfile::by_name(name)
                 .unwrap()
                 .generate(1);
-            let built = build(&g, Mode::Variable, Mode::Const(1.25), None);
+            let built = build(&g, Mode::Variable, Mode::Const(1.25), None, false);
             let mut o = rr_milp::SolverOptions::default();
             o.max_pivots = 2_000_000;
             let t0 = std::time::Instant::now();

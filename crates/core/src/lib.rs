@@ -68,6 +68,10 @@ pub struct CoreOptions {
     /// Keep at most this many best configurations in the outcome (the
     /// paper's `k`); all non-dominated points are still evaluated.
     pub k: usize,
+    /// Generate retiming cycle-sum cuts for `MAX_THR(τ)` (each cycle `C`
+    /// needs at least `⌈D(C)/τ⌉` buffers). The cuts are valid for every
+    /// integer point and are separated lazily inside branch & bound.
+    pub cuts: bool,
 }
 
 impl Default for CoreOptions {
@@ -83,6 +87,7 @@ impl Default for CoreOptions {
             },
             sim: SimParams::default(),
             k: 5,
+            cuts: true,
         }
     }
 }
@@ -101,6 +106,7 @@ impl CoreOptions {
             },
             sim: SimParams::fast(0xC0FFEE),
             k: 5,
+            cuts: true,
         }
     }
 }

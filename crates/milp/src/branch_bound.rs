@@ -60,11 +60,14 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::expr::VarId;
-use crate::model::{FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind};
+use crate::model::{
+    Branching, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind,
+};
 use crate::recover::RecoveryStats;
 use crate::revised::{BasisState, Revised};
 use crate::solution::{Solution, SolveError, Status};
@@ -127,10 +130,119 @@ pub struct BranchBoundStats {
     /// equals `nodes`; best-bound entries discarded unsolved from the
     /// queue do not appear.
     pub node_bounds: Vec<f64>,
+    /// Candidates strong-branched by the reliability rule (each counts
+    /// one probed candidate, i.e. up to two child dual-simplex probes;
+    /// pseudo-cost branching on the warm backend only).
+    pub strong_branches: usize,
+    /// Pseudo-cost observations recorded: node bound degradations plus
+    /// strong-branch probe results (pseudo-cost branching only).
+    pub pseudo_updates: usize,
+    /// Lazily-activatable cut rows carried by the standard form.
+    pub cuts_added: usize,
+    /// Cut activations across the whole search (a violated cut row
+    /// tightened in place to its integer-valid rhs; warm backend only).
+    pub cuts_activated: usize,
+    /// Tightest proven dual bound at termination, in the model's sense:
+    /// the frontier minimum joined with the incumbent. Equals the
+    /// incumbent objective when the search completed; falls back to the
+    /// root bound when nothing tighter was proven.
+    pub dual_bound: f64,
     /// Numerical-event and recovery-ladder counters (see
     /// [`crate::recover`]; warm path only — the legacy per-node-rebuild
     /// path reports the default).
     pub recovery: RecoveryStats,
+}
+
+/// Outcome of one strong-branch child probe (see
+/// [`LpBackend::probe_branch`]). Probe results only *bias* branching —
+/// an `Infeasible` verdict steers selection toward the variable but
+/// never prunes, so an unverified probe cannot break correctness.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProbeOutcome {
+    /// The backend could not probe (legacy backend, cold mode, kernel
+    /// not dual feasible, probe budget exhausted): use the estimate.
+    Skipped,
+    /// The child LP solved to optimality within the probe budget.
+    Bound(f64),
+    /// The child box is dual-simplex infeasible.
+    Infeasible,
+}
+
+/// Shared pseudo-cost table: per variable × direction mean bound
+/// degradation per unit of fractionality, learned from node solves and
+/// strong-branch probes. All cells are atomics so the parallel search
+/// reads estimates lock-free; in the serial search the relaxed atomics
+/// are exactly as deterministic as plain fields.
+pub(crate) struct PseudoCosts {
+    /// `cells[vi][dir]`, `dir` 0 = down (floor) and 1 = up (ceil).
+    cells: Vec<[PseudoCell; 2]>,
+    /// Global running mean — the initialization estimate for variables
+    /// without observations of their own.
+    global: PseudoCell,
+}
+
+#[derive(Default)]
+struct PseudoCell {
+    /// Sum of observed degradations, stored as `f64` bits.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl PseudoCosts {
+    pub(crate) fn new(nvars: usize) -> PseudoCosts {
+        PseudoCosts {
+            cells: (0..nvars).map(|_| Default::default()).collect(),
+            global: PseudoCell::default(),
+        }
+    }
+
+    /// Lock-free `sum += degrade` (CAS loop over the f64 bits).
+    fn add(cell: &PseudoCell, degrade: f64) {
+        let mut cur = cell.sum_bits.load(MemOrdering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + degrade).to_bits();
+            match cell.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                MemOrdering::Relaxed,
+                MemOrdering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        cell.count.fetch_add(1, MemOrdering::Relaxed);
+    }
+
+    /// Records one observed degradation per unit fractionality.
+    pub(crate) fn record(&self, vi: usize, up: bool, degrade_per_frac: f64) {
+        Self::add(&self.cells[vi][up as usize], degrade_per_frac);
+        Self::add(&self.global, degrade_per_frac);
+    }
+
+    /// Observation count of one direction (the reliability test).
+    pub(crate) fn observations(&self, vi: usize, up: bool) -> u64 {
+        self.cells[vi][up as usize].count.load(MemOrdering::Relaxed)
+    }
+
+    /// Mean observed degradation per unit fractionality; variables with
+    /// no observations inherit the global mean (0 before any
+    /// observation anywhere, which makes scoring fall back to pure
+    /// fractionality ordering).
+    pub(crate) fn estimate(&self, vi: usize, up: bool) -> f64 {
+        let cell = &self.cells[vi][up as usize];
+        let n = cell.count.load(MemOrdering::Relaxed);
+        let (sum, n) = if n > 0 {
+            (cell.sum_bits.load(MemOrdering::Relaxed), n)
+        } else {
+            let gn = self.global.count.load(MemOrdering::Relaxed);
+            if gn == 0 {
+                return 0.0;
+            }
+            (self.global.sum_bits.load(MemOrdering::Relaxed), gn)
+        };
+        f64::from_bits(sum) / n as f64
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +304,38 @@ pub(crate) trait LpBackend {
     /// Final stats the backend owns (pivot totals, factorization
     /// telemetry).
     fn finish(&self, stats: &mut BranchBoundStats);
+
+    /// Lazily-activatable cut rows this backend carries (warm backend
+    /// only; 0 everywhere else).
+    fn cut_count(&self) -> usize {
+        0
+    }
+
+    /// Checks every inactive cut against `sol`, activates the violated
+    /// ones (tightening their row rhs to the integer-valid value in
+    /// place), and returns how many fired — the caller must then
+    /// re-solve the node LP.
+    fn separate_cuts(&mut self, sol: &Solution) -> usize {
+        let _ = sol;
+        0
+    }
+
+    /// Strong-branch probe: a bounded dual reoptimization of the child
+    /// box `[lo, hi]` of `vi` from the current node optimum, restoring
+    /// the box `[restore_lo, restore_hi]` (but not the basis — any
+    /// dual-feasible basis warm-starts any node) afterwards.
+    fn probe_branch(
+        &mut self,
+        opts: &SolverOptions,
+        vi: usize,
+        lo: f64,
+        hi: f64,
+        restore_lo: f64,
+        restore_hi: f64,
+    ) -> ProbeOutcome {
+        let _ = (opts, vi, lo, hi, restore_lo, restore_hi);
+        ProbeOutcome::Skipped
+    }
 }
 
 /// Revised-kernel backend over a [`BoxedForm`] built once; branching
@@ -206,6 +350,12 @@ pub(crate) struct WarmBackend<'a> {
     /// integers; `None` for fixed or continuous variables.
     pub(crate) int_cols: Vec<Option<(usize, f64)>>,
     pub(crate) kernel: Revised,
+    /// Which cut rows have been activated (tightened to their
+    /// integer-valid rhs). Activated rhs values live in `kernel.b`, and
+    /// [`crate::revised::Revised::rebuilt`] copies `b` forward — so
+    /// activations survive every recovery-ladder rebuild without
+    /// re-application.
+    pub(crate) active_cuts: Vec<bool>,
 }
 
 impl WarmBackend<'_> {
@@ -347,6 +497,17 @@ impl WarmBackend<'_> {
     fn restore_kernel(&mut self, opts: &SolverOptions) {
         self.kernel.set_force_bland(false);
         self.kernel = self.kernel.rebuilt(&self.form, opts);
+    }
+
+    /// Activates cut `i` (tightens its row to the integer-valid rhs) if
+    /// this backend has not already — the parallel workers use this to
+    /// mirror activations other workers published.
+    pub(crate) fn apply_cut(&mut self, i: usize) {
+        if !self.active_cuts[i] {
+            let cr = self.form.cut_rows[i];
+            self.kernel.set_rhs(cr.row, cr.strong_b);
+            self.active_cuts[i] = true;
+        }
     }
 }
 
@@ -515,6 +676,58 @@ impl LpBackend for WarmBackend<'_> {
         stats.basis_rows = self.kernel.dims().0;
         stats.recovery.absorb(self.kernel.recovery());
     }
+
+    fn cut_count(&self) -> usize {
+        self.form.cut_rows.len()
+    }
+
+    fn separate_cuts(&mut self, sol: &Solution) -> usize {
+        let mut activated = 0;
+        for (i, cr) in self.form.cut_rows.iter().enumerate() {
+            if self.active_cuts[i] {
+                continue;
+            }
+            let cut = &self.model.cuts[cr.cut];
+            if cut.expr.eval(&sol.values) < cut.rhs - 1e-6 {
+                // Tighten the row in place: an rhs change leaves reduced
+                // costs (dual feasibility) untouched, so the next dual
+                // reoptimization re-solves from the current basis.
+                self.kernel.set_rhs(cr.row, cr.strong_b);
+                self.active_cuts[i] = true;
+                activated += 1;
+            }
+        }
+        activated
+    }
+
+    fn probe_branch(
+        &mut self,
+        opts: &SolverOptions,
+        vi: usize,
+        lo: f64,
+        hi: f64,
+        restore_lo: f64,
+        restore_hi: f64,
+    ) -> ProbeOutcome {
+        if self.int_cols[vi].is_none() || !opts.warm_start || !self.kernel.dual_ok() {
+            return ProbeOutcome::Skipped;
+        }
+        self.set_var_box(vi, lo, hi);
+        let mut budget = opts.strong_branch_pivots;
+        let out = match self.kernel.dual_reopt(opts, &mut budget) {
+            Ok(()) if !self.kernel.has_active_artificial(1e-6) => ProbeOutcome::Bound(
+                self.model
+                    .objective
+                    .eval(&self.form.sf.recover(&self.kernel.values())),
+            ),
+            Ok(()) => ProbeOutcome::Skipped,
+            Err(SolveError::Infeasible) => ProbeOutcome::Infeasible,
+            // Budget exhausted or numerics: no usable probe bound.
+            Err(_) => ProbeOutcome::Skipped,
+        };
+        self.set_var_box(vi, restore_lo, restore_hi);
+        out
+    }
 }
 
 /// Model-clone backend: rebuilds the standard form at every node. Used by
@@ -623,6 +836,15 @@ pub(crate) struct TreeNode {
     /// `vi`'s box at the parent (for the undo walk).
     pub(crate) parent_lo: f64,
     pub(crate) parent_hi: f64,
+    /// `true` when this is the up (ceil) child of its branching.
+    pub(crate) up: bool,
+    /// Fractionality of the parent relaxation value toward this side
+    /// (`val - ⌊val⌋` down, `⌈val⌉ - val` up); 0 at the root.
+    pub(crate) frac: f64,
+    /// Parent relaxation objective (model sense) — the baseline a
+    /// pseudo-cost observation measures this node's bound degradation
+    /// against. NaN at the root.
+    pub(crate) parent_obj: f64,
 }
 
 impl TreeNode {
@@ -636,6 +858,9 @@ impl TreeNode {
             hi: 0.0,
             parent_lo: 0.0,
             parent_hi: 0.0,
+            up: false,
+            frac: 0.0,
+            parent_obj: f64::NAN,
         }
     }
 }
@@ -653,6 +878,7 @@ pub(crate) fn branch_children(
     val: f64,
     plo: f64,
     phi: f64,
+    parent_obj: f64,
 ) -> [Option<TreeNode>; 2] {
     let floor = val.floor();
     let ceil = val.ceil();
@@ -665,6 +891,9 @@ pub(crate) fn branch_children(
         hi: phi.min(floor),
         parent_lo: plo,
         parent_hi: phi,
+        up: false,
+        frac: val - floor,
+        parent_obj,
     });
     let up_child = (plo.max(ceil) <= phi).then(|| TreeNode {
         parent,
@@ -674,6 +903,9 @@ pub(crate) fn branch_children(
         hi: phi,
         parent_lo: plo,
         parent_hi: phi,
+        up: true,
+        frac: ceil - val,
+        parent_obj,
     });
     if down_first {
         [up_child, down_child]
@@ -682,11 +914,212 @@ pub(crate) fn branch_children(
     }
 }
 
-/// An open (queued) node: arena index, parent LP bound (signed, i.e.
-/// minimization form), push sequence number, and the parent's basis for
-/// warm-start handoff.
+/// Most-fractional branching: highest priority class first, most
+/// fractional within it, **ties broken toward the lowest `VarId`** —
+/// explicit, so selection never depends on the iteration order of
+/// `int_vars` (the workers=1 bit-exactness contract). Returns `None`
+/// when the point is integral. Shared between the serial core and the
+/// parallel workers.
+pub(crate) fn most_fractional_of(
+    model: &Model,
+    int_vars: &[VarId],
+    int_tol: f64,
+    sol: &Solution,
+) -> Option<(VarId, f64)> {
+    let mut best: Option<(VarId, f64)> = None;
+    let mut best_key = (i32::MIN, int_tol);
+    for &v in int_vars {
+        let val = sol.value(v);
+        let frac = (val - val.round()).abs();
+        if frac <= int_tol {
+            continue;
+        }
+        let key = (model.var(v).priority(), frac);
+        let wins = key > best_key || (key == best_key && best.is_some_and(|(bv, _)| v < bv));
+        if wins {
+            best_key = key;
+            best = Some((v, val));
+        }
+    }
+    best
+}
+
+/// Pseudo-cost branching with reliability probes: among the fractional
+/// candidates of the highest priority class, strong-branch (bounded
+/// dual-simplex probe of both children) the most fractional candidates
+/// whose pseudo-costs are not yet reliable, record the observed
+/// degradations, and pick the candidate maximizing the product score
+/// `max(down·f⁻, ε) · max(up·f⁺, ε)`. A probe that proves a child
+/// infeasible scores `+∞` (branching there closes one side for free)
+/// but never prunes. Ties break toward higher fractionality, then lower
+/// `VarId`. Returns `None` when the point is integral. Shared between
+/// the serial core and the parallel workers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_branch_var<B: LpBackend>(
+    backend: &mut B,
+    model: &Model,
+    opts: &SolverOptions,
+    int_vars: &[VarId],
+    sol: &Solution,
+    lo: &[f64],
+    hi: &[f64],
+    sense_mul: f64,
+    pseudo: &PseudoCosts,
+    stats: &mut BranchBoundStats,
+) -> Option<(VarId, f64)> {
+    struct Cand {
+        v: VarId,
+        val: f64,
+        frac: f64,
+        fd: f64,
+        fu: f64,
+        /// Probed degradations (NaN = not probed → use the estimate).
+        down: f64,
+        up: f64,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut top = i32::MIN;
+    for &v in int_vars {
+        let val = sol.value(v);
+        let frac = (val - val.round()).abs();
+        if frac <= opts.int_tol {
+            continue;
+        }
+        let p = model.var(v).priority();
+        if p > top {
+            top = p;
+            cands.clear();
+        }
+        if p == top {
+            cands.push(Cand {
+                v,
+                val,
+                frac,
+                fd: val - val.floor(),
+                fu: val.ceil() - val,
+                down: f64::NAN,
+                up: f64::NAN,
+            });
+        }
+    }
+    if cands.is_empty() {
+        return None;
+    }
+    if cands.len() == 1 {
+        return Some((cands[0].v, cands[0].val));
+    }
+    // Reliability rule: strong-branch the most fractional candidates
+    // whose weaker direction has fewer than `reliability` observations.
+    if opts.reliability > 0 && opts.strong_branch_candidates > 0 {
+        let mut unreliable: Vec<usize> = (0..cands.len())
+            .filter(|&i| {
+                let vi = cands[i].v.index();
+                let seen = pseudo
+                    .observations(vi, false)
+                    .min(pseudo.observations(vi, true));
+                (seen as usize) < opts.reliability
+            })
+            .collect();
+        unreliable.sort_by(|&a, &b| {
+            cands[b]
+                .frac
+                .total_cmp(&cands[a].frac)
+                .then(cands[a].v.index().cmp(&cands[b].v.index()))
+        });
+        unreliable.truncate(opts.strong_branch_candidates);
+        for i in unreliable {
+            let (vi, val, fd, fu) = {
+                let c = &cands[i];
+                (c.v.index(), c.val, c.fd, c.fu)
+            };
+            let (l, h) = (lo[vi], hi[vi]);
+            let node_obj = sense_mul * sol.objective;
+            let (floor, ceil) = (val.floor(), val.ceil());
+            // An empty child box is an infeasible side by construction.
+            let down = if l <= h.min(floor) {
+                backend.probe_branch(opts, vi, l, h.min(floor), l, h)
+            } else {
+                ProbeOutcome::Infeasible
+            };
+            let up = if l.max(ceil) <= h {
+                backend.probe_branch(opts, vi, l.max(ceil), h, l, h)
+            } else {
+                ProbeOutcome::Infeasible
+            };
+            let mut probed = false;
+            for (out, is_up, f) in [(down, false, fd), (up, true, fu)] {
+                match out {
+                    ProbeOutcome::Bound(obj) => {
+                        probed = true;
+                        let degrade = (sense_mul * obj - node_obj).max(0.0);
+                        if f > opts.int_tol {
+                            pseudo.record(vi, is_up, degrade / f);
+                            stats.pseudo_updates += 1;
+                        }
+                        let slot = if is_up {
+                            &mut cands[i].up
+                        } else {
+                            &mut cands[i].down
+                        };
+                        *slot = degrade;
+                    }
+                    ProbeOutcome::Infeasible => {
+                        probed = true;
+                        let slot = if is_up {
+                            &mut cands[i].up
+                        } else {
+                            &mut cands[i].down
+                        };
+                        *slot = f64::INFINITY;
+                    }
+                    ProbeOutcome::Skipped => {}
+                }
+            }
+            if probed {
+                stats.strong_branches += 1;
+            }
+        }
+    }
+    // Product-rule scoring, probe results overriding estimates.
+    let mut best_i = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, c) in cands.iter().enumerate() {
+        let vi = c.v.index();
+        let d = if c.down.is_nan() {
+            pseudo.estimate(vi, false) * c.fd
+        } else {
+            c.down
+        };
+        let u = if c.up.is_nan() {
+            pseudo.estimate(vi, true) * c.fu
+        } else {
+            c.up
+        };
+        let score = d.max(1e-6) * u.max(1e-6);
+        let wins = score > best_score
+            || (score == best_score && {
+                let b = &cands[best_i];
+                c.frac > b.frac || (c.frac == b.frac && c.v < b.v)
+            });
+        if wins {
+            best_score = score;
+            best_i = i;
+        }
+    }
+    Some((cands[best_i].v, cands[best_i].val))
+}
+
+/// An open (queued) node: arena index, parent LP bound, ordering key,
+/// push sequence number, and the parent's basis for warm-start handoff.
 pub(crate) struct OpenNode {
     pub(crate) node: usize,
+    /// Valid (parent) LP bound, signed (minimization form) — what
+    /// pruning and discard tests compare against the incumbent.
+    pub(crate) bound: f64,
+    /// Heap-ordering key, signed. Equals `bound` except under
+    /// pseudo-cost best-bound, where it is the best-estimate score
+    /// `bound + Σ pseudo-cost·fractionality` — a prediction, never used
+    /// to prune.
     pub(crate) key: f64,
     pub(crate) seq: usize,
     pub(crate) basis: Option<Arc<BasisState>>,
@@ -747,6 +1180,16 @@ impl Frontier {
             Frontier::Best(h) => h.len(),
         }
     }
+    /// Minimum valid LP bound over the open nodes (`+∞` when empty).
+    /// Under pseudo-cost scoring the heap is estimate-ordered, so the
+    /// minimum genuinely requires the scan.
+    pub(crate) fn min_bound(&self) -> f64 {
+        let fold = |it: &mut dyn Iterator<Item = f64>| it.fold(f64::INFINITY, f64::min);
+        match self {
+            Frontier::Dfs(v) => fold(&mut v.iter().map(|o| o.bound)),
+            Frontier::Best(h) => fold(&mut h.iter().map(|o| o.bound)),
+        }
+    }
 }
 
 /// The generic branch & bound driver; see the module docs.
@@ -788,6 +1231,9 @@ struct SearchCore<'a, B: LpBackend> {
     /// on the order of one branching level per fractional integer).
     episode_cap: usize,
     seq: usize,
+    /// Learned pseudo-cost table (unused under
+    /// [`Branching::MostFractional`]).
+    pseudo: PseudoCosts,
 }
 
 impl<'a, B: LpBackend> SearchCore<'a, B> {
@@ -827,6 +1273,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
             episode: 0,
             episode_cap: 64.max(2 * int_count),
             seq: 0,
+            pseudo: PseudoCosts::new(model.vars.len()),
         }
     }
 
@@ -842,37 +1289,74 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         self.sense_mul * obj
     }
 
-    /// Picks the branching variable: highest priority class first, most
-    /// fractional within it; `None` when the point is integral.
-    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
-        let mut best: Option<(VarId, f64)> = None;
-        let mut best_key = (i32::MIN, self.opts.int_tol);
-        for &v in &self.int_vars {
-            let val = sol.value(v);
-            let frac = (val - val.round()).abs();
-            if frac <= self.opts.int_tol {
-                continue;
+    /// Picks the branching variable according to
+    /// [`SolverOptions::branching`]; `None` when the point is integral.
+    fn pick_branch_var(&mut self, sol: &Solution) -> Option<(VarId, f64)> {
+        match self.opts.branching {
+            Branching::MostFractional => {
+                most_fractional_of(self.model, &self.int_vars, self.opts.int_tol, sol)
             }
-            let key = (self.model.var(v).priority(), frac);
-            if key > best_key {
-                best_key = key;
-                best = Some((v, val));
-            }
+            Branching::PseudoCost => select_branch_var(
+                &mut self.backend,
+                self.model,
+                self.opts,
+                &self.int_vars,
+                sol,
+                &self.lo,
+                &self.hi,
+                self.sense_mul,
+                &self.pseudo,
+                &mut self.stats,
+            ),
         }
-        best
     }
 
-    /// Relative gap of the incumbent against the root LP bound; once it
-    /// is within `gap_tol` the search stops (the root bound is the
-    /// weakest valid bound, so this is conservative).
-    fn within_gap(&self) -> bool {
+    /// Minimum valid LP bound over every open node (frontier plus the
+    /// pending dive entries), signed; `+∞` when nothing is open.
+    fn open_bound_min(&self) -> f64 {
+        self.dive
+            .iter()
+            .map(|o| o.bound)
+            .fold(self.frontier.min_bound(), f64::min)
+    }
+
+    /// Gap termination test against the incumbent. `node_bound` is the
+    /// signed bound of the node currently being expanded (still open
+    /// from the dual-bound perspective).
+    ///
+    /// Historically the gap was measured against the **root** LP bound —
+    /// the weakest valid bound, so `gap_tol` fired late and the reported
+    /// gap over-stated reality on solved instances. Under pseudo-cost
+    /// branching the minimum over the open set (which is the valid
+    /// global dual bound) is used instead; most-fractional mode keeps
+    /// the historical rule so the pinned goldens replay bit-exact.
+    fn within_gap(&self, node_bound: f64) -> bool {
         let Some(best) = &self.best else { return false };
         if self.stats.nodes == 0 {
             return false;
         }
-        let bound = self.signed(self.stats.root_bound);
+        let bound = match self.opts.branching {
+            Branching::MostFractional => self.signed(self.stats.root_bound),
+            Branching::PseudoCost => node_bound.min(self.open_bound_min()),
+        };
         let inc = self.signed(best.objective);
         inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
+    }
+
+    /// Tightest proven dual bound at this point of the search (signed):
+    /// open-node minimum joined with the incumbent, falling back to the
+    /// root bound when nothing tighter exists.
+    fn proven_dual_bound(&self) -> f64 {
+        let inc = self
+            .best
+            .as_ref()
+            .map_or(f64::INFINITY, |b| self.signed(b.objective));
+        let bound = self.open_bound_min().min(inc);
+        if bound.is_finite() {
+            bound
+        } else {
+            self.signed(self.stats.root_bound)
+        }
     }
 
     /// Installs `candidate` as the incumbent when it is integral and
@@ -1014,18 +1498,52 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         val: f64,
         bound: f64,
         basis: Option<Arc<BasisState>>,
+        sol: &Solution,
     ) {
         let vi = var.index();
         let depth = self.arena[t].depth + 1;
-        let key = self.signed(bound);
-        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi]);
+        let signed_bound = self.signed(bound);
+        // Best-estimate scoring (pseudo-cost best-bound only): the
+        // shared completion term Σ_j min(down_j·f⁻_j, up_j·f⁺_j) over
+        // the *other* fractional variables, plus the per-child cost of
+        // rounding `vi` itself. Estimates are predictions — they order
+        // the queue but never prune (pruning reads `OpenNode::bound`).
+        let estimate = self.opts.branching == Branching::PseudoCost
+            && self.opts.node_order == NodeOrder::BestBound;
+        let common = if estimate {
+            let mut sum = 0.0;
+            for &v in &self.int_vars {
+                if v.index() == vi {
+                    continue;
+                }
+                let x = sol.value(v);
+                let fd = x - x.floor();
+                let fu = x.ceil() - x;
+                if fd.min(fu) <= self.opts.int_tol {
+                    continue;
+                }
+                let down = self.pseudo.estimate(v.index(), false) * fd;
+                let up = self.pseudo.estimate(v.index(), true) * fu;
+                sum += down.min(up).max(0.0);
+            }
+            sum
+        } else {
+            0.0
+        };
+        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi], bound);
         let mut entries: Vec<OpenNode> = Vec::with_capacity(2);
         for child in children.into_iter().flatten() {
+            let key = if estimate {
+                signed_bound + common + self.pseudo.estimate(vi, child.up) * child.frac
+            } else {
+                signed_bound
+            };
             let idx = self.arena.len();
             self.arena.push(child);
             self.seq += 1;
             entries.push(OpenNode {
                 node: idx,
+                bound: signed_bound,
                 key,
                 seq: self.seq,
                 basis: basis.clone(),
@@ -1054,6 +1572,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         self.arena.push(TreeNode::root());
         self.frontier.push(OpenNode {
             node: 0,
+            bound: f64::NEG_INFINITY,
             key: f64::NEG_INFINITY,
             seq: 0,
             basis: None,
@@ -1076,7 +1595,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                     let prunable = self
                         .best
                         .as_ref()
-                        .is_some_and(|best| p.key >= self.signed(best.objective) - 1e-9);
+                        .is_some_and(|best| p.bound >= self.signed(best.objective) - 1e-9);
                     if prunable {
                         continue;
                     }
@@ -1087,13 +1606,21 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                     let Some(o) = self.frontier.pop() else { break };
                     if self.opts.node_order == NodeOrder::BestBound {
                         if let Some(best) = &self.best {
-                            if o.key >= self.signed(best.objective) - 1e-9 {
-                                // The queue is bound-sorted: every
-                                // remaining open node is at least as bad,
-                                // so the incumbent is proven optimal.
-                                // Discarded entries were never solved and
-                                // are not counted as nodes.
-                                return Ok(());
+                            if o.bound >= self.signed(best.objective) - 1e-9 {
+                                match self.opts.branching {
+                                    // Most-fractional keys equal bounds,
+                                    // so the queue is bound-sorted: every
+                                    // remaining open node is at least as
+                                    // bad and the incumbent is proven
+                                    // optimal. Discarded entries were
+                                    // never solved and are not counted
+                                    // as nodes.
+                                    Branching::MostFractional => return Ok(()),
+                                    // Estimate-sorted queue: only this
+                                    // entry is proven prunable; keep
+                                    // draining.
+                                    Branching::PseudoCost => continue,
+                                }
                             }
                         }
                     }
@@ -1107,7 +1634,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
             self.activate(open.node);
             self.stats.nodes += 1;
             self.episode += 1;
-            let relax =
+            let mut relax =
                 match self
                     .backend
                     .solve_node(self.opts, open.basis.as_deref(), &mut self.stats)
@@ -1131,17 +1658,64 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                     // the root.
                     Err(e) => return Err(e),
                 };
+            // Lazy cut separation: tighten violated cut rows to their
+            // integer-valid rhs and re-solve until the point is clean.
+            // The weaker pre-activation bound stays valid, so a failed
+            // re-solve simply keeps it; an Infeasible verdict closes the
+            // node (cuts hold for every integer point in this box).
+            let mut cut_closed = false;
+            if self.backend.cut_count() > 0 {
+                for _ in 0..8 {
+                    let fired = self.backend.separate_cuts(&relax);
+                    if fired == 0 {
+                        break;
+                    }
+                    self.stats.cuts_activated += fired;
+                    match self
+                        .backend
+                        .solve_node(self.opts, open.basis.as_deref(), &mut self.stats)
+                    {
+                        Ok(sol) => relax = sol,
+                        Err(SolveError::Infeasible) => {
+                            cut_closed = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
             self.stats.node_bounds.push(relax.objective);
             let depth = self.arena[open.node].depth;
             if depth == 0 {
                 self.stats.root_bound = relax.objective;
+            }
+            // Pseudo-cost learning: this node's bound degradation
+            // against its parent, normalized by the branch
+            // fractionality.
+            if self.opts.branching == Branching::PseudoCost {
+                let nd = &self.arena[open.node];
+                if nd.vi != usize::MAX && nd.frac > self.opts.int_tol && nd.parent_obj.is_finite() {
+                    let degrade =
+                        (self.signed(relax.objective) - self.signed(nd.parent_obj)).max(0.0);
+                    self.pseudo.record(nd.vi, nd.up, degrade / nd.frac);
+                    self.stats.pseudo_updates += 1;
+                }
+            }
+            if cut_closed {
+                continue;
             }
             if let Some(best) = &self.best {
                 if self.signed(relax.objective) >= self.signed(best.objective) - 1e-9 {
                     continue; // cannot beat the incumbent
                 }
             }
-            let Some((var, val)) = self.most_fractional(&relax) else {
+            // Children warm-start from this node's optimal basis —
+            // snapshot before strong-branch probes or the heuristic
+            // perturb the kernel. (Taking it before branching selection
+            // is a pure reorder for most-fractional mode: selection
+            // there never touches the kernel.)
+            let my_basis = self.backend.snapshot(self.opts).map(Arc::new);
+            let Some((var, val)) = self.pick_branch_var(&relax) else {
                 // Integral leaf: the relaxation point IS the optimal
                 // incumbent for this box (the legacy backend re-solves it
                 // once to snap the stored point exactly).
@@ -1152,16 +1726,13 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
                 }
                 continue;
             };
-            // Children warm-start from this node's optimal basis
-            // (snapshot before the heuristic perturbs the kernel).
-            let my_basis = self.backend.snapshot(self.opts).map(Arc::new);
             if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
                 self.offer_incumbent(&relax);
             }
-            if self.within_gap() {
+            if self.within_gap(self.signed(relax.objective)) {
                 return Ok(());
             }
-            self.expand(open.node, var, val, relax.objective, my_basis);
+            self.expand(open.node, var, val, relax.objective, my_basis, &relax);
         }
         Ok(())
     }
@@ -1176,8 +1747,12 @@ fn run_search<B: LpBackend>(
     deadline: Option<Instant>,
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
     let mut core = SearchCore::new(model, opts, backend, deadline);
+    core.stats.cuts_added = core.backend.cut_count();
     core.seed_hint(hint);
     core.run()?;
+    // Report the proven dual bound in the model's sense (never NaN, so
+    // bit-exact stats comparisons keep working).
+    core.stats.dual_bound = core.sense_mul * core.proven_dual_bound();
     core.backend.finish(&mut core.stats);
     finish(core.best, core.stats)
 }
@@ -1282,11 +1857,13 @@ pub fn solve_with_stats_hinted(
                 }
                 let mut kernel = Revised::new(&form, opts);
                 kernel.set_deadline(deadline);
+                let active_cuts = vec![false; form.cut_rows.len()];
                 let backend = WarmBackend {
                     model,
                     form,
                     int_cols,
                     kernel,
+                    active_cuts,
                 };
                 return run_search(model, opts, hint, backend, deadline);
             }
@@ -1378,6 +1955,40 @@ mod tests {
         m.add_constraint(LinExpr::var(x), cmp::GE, -2.5);
         let sol = m.solve().unwrap();
         assert_eq!(sol.int_value(x), -2);
+    }
+
+    /// Most-fractional selection golden: when two variables tie on both
+    /// priority and fractionality, the lowest `VarId` wins — a pinned
+    /// tie-break, not an iteration-order accident. Priority still
+    /// dominates fractionality.
+    #[test]
+    fn most_fractional_ties_break_to_lowest_var_id() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_integer("a", 0.0, 10.0);
+        let b = m.add_integer("b", 0.0, 10.0);
+        let c = m.add_integer("c", 0.0, 10.0);
+        let int_vars = vec![a, b, c];
+        let frac = |m: &Model, values: Vec<f64>| {
+            let sol = Solution {
+                values,
+                objective: 0.0,
+                status: Status::Feasible,
+            };
+            most_fractional_of(m, &int_vars, 1e-6, &sol)
+        };
+        // b and c tie at fractionality 0.5 (a is less fractional):
+        // the lower VarId b wins.
+        assert_eq!(frac(&m, vec![1.25, 2.5, 3.5]), Some((b, 2.5)));
+        // All three tie: the lowest VarId a wins.
+        assert_eq!(frac(&m, vec![1.5, 2.5, 3.5]), Some((a, 1.5)));
+        // An integral point yields no branching candidate.
+        assert_eq!(frac(&m, vec![1.0, 2.0, 3.0]), None);
+        // Priority dominates fractionality; within the top priority
+        // class the VarId tie-break still applies.
+        m.set_priority(b, 5);
+        m.set_priority(c, 5);
+        assert_eq!(frac(&m, vec![1.5, 2.25, 3.25]), Some((b, 2.25)));
+        assert_eq!(frac(&m, vec![1.5, 2.25, 3.75]), Some((b, 2.25)));
     }
 
     #[test]

@@ -84,6 +84,51 @@
 //! either LP backend (warm revised kernel or the rebuild-per-node
 //! legacy/oracle path); see the `branch_bound` module docs.
 //!
+//! # Branching and node scoring
+//!
+//! Which variable to branch on is chosen by [`SolverOptions::branching`]:
+//!
+//! * [`Branching::PseudoCost`] (the default) maintains per-variable,
+//!   per-direction **pseudo-costs** — running means of the observed LP
+//!   bound degradation per unit of fractionality — learned from every
+//!   expanded child. Until a variable's history is *reliable*
+//!   ([`SolverOptions::reliability`] observations per direction), the
+//!   most fractional unreliable candidates are **strong-branched**: both
+//!   children get a bounded dual-simplex probe
+//!   ([`SolverOptions::strong_branch_pivots`], capped at
+//!   [`SolverOptions::strong_branch_candidates`] candidates per node)
+//!   and the observed degradations seed the table. The candidate
+//!   maximizing the product score `max(down·f⁻, ε) · max(up·f⁺, ε)` is
+//!   branched; a probe that proves a child infeasible biases selection
+//!   toward the variable but never prunes, so an unverified probe cannot
+//!   break correctness. Under [`NodeOrder::BestBound`] the queue is
+//!   keyed on a **best-estimate** score — the node LP bound plus the
+//!   pseudo-cost-predicted cost of repairing every remaining fractional
+//!   variable — rather than the raw parent bound, and the gap test /
+//!   reported [`BranchBoundStats::dual_bound`] use the **global
+//!   open-node minimum** (a valid dual bound) instead of the weak root
+//!   LP bound. With `workers >= 2` the pseudo-cost table is shared:
+//!   node-expansion updates fold in under the existing budget lock,
+//!   probe updates and all reads are lock-free atomics.
+//! * [`Branching::MostFractional`] is the historical rule — highest
+//!   [`priority`](Model::set_priority) class first, most fractional
+//!   within it, ties broken to the lowest [`VarId`] (a pinned golden,
+//!   not an iteration-order accident). The trajectory goldens and the
+//!   ordering A/B benches stay pinned to this mode so their numbers
+//!   remain comparable across PRs.
+//!
+//! On the retiming MILPs the `MAX_THR` formulation additionally carries
+//! **cycle-sum cuts** (`rr-core`'s formulation layer): every fundamental
+//! cycle of the retiming-and-recycling graph needs at least
+//! `⌈delay(C)/τ⌉` buffers, but the LP relaxation only implies the token
+//! sum. The cut rows are built into the standard form at their
+//! LP-implied (weak) right-hand sides and **activated lazily** — a
+//! separation pass after each node LP tightens violated rows in place to
+//! the integer-valid rhs via the same dual-feasible `set_rhs` mutation
+//! the branching boxes use, so warm starts survive and activation costs
+//! a few dual pivots ([`BranchBoundStats::cuts_added`] /
+//! [`BranchBoundStats::cuts_activated`]).
+//!
 //! # Concurrency model
 //!
 //! [`SolverOptions::workers`]` >= 2` runs the warm revised path as a
@@ -173,8 +218,8 @@ mod standard;
 pub use branch_bound::{solve_with_stats, solve_with_stats_hinted, BranchBoundStats};
 pub use expr::{LinExpr, VarId};
 pub use model::{
-    cmp, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind,
-    Variable,
+    cmp, Branching, CmpOp, Constraint, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions,
+    UpdateKind, Variable,
 };
 pub use recover::{FaultPlan, NumericalEvent, RecoveryStats};
 pub use solution::{Solution, SolveError, Status};

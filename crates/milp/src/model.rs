@@ -182,6 +182,27 @@ pub enum NodeOrder {
     BestBound,
 }
 
+/// Branching-variable selection rule of the branch & bound search (see
+/// the crate-level "Branching and node scoring" docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Branching {
+    /// Pseudo-cost (reliability) branching: per-variable up/down
+    /// pseudo-costs are learned from the bound degradations the search
+    /// observes; a variable whose direction has fewer than
+    /// [`SolverOptions::reliability`] observations is strong-branched
+    /// (both children dual-reoptimized under a small pivot budget)
+    /// before its pseudo-cost is trusted. Candidates are scored by the
+    /// product rule and, under [`NodeOrder::BestBound`], queued children
+    /// are ordered by a best-estimate key instead of the raw parent
+    /// bound. The production default.
+    #[default]
+    PseudoCost,
+    /// Highest priority class first, most fractional within it, ties
+    /// broken toward the lowest [`VarId`]. The historical rule; the
+    /// bit-exact trajectory goldens pin this mode.
+    MostFractional,
+}
+
 /// Resource limits and tolerances for the solver.
 ///
 /// The defaults match what the reproduction harness needs; the paper used a
@@ -248,6 +269,19 @@ pub struct SolverOptions {
     /// crate-level "Concurrency model" docs). Models that fall back to
     /// the legacy per-node-rebuild backend ignore this and run serially.
     pub workers: usize,
+    /// Branching-variable selection rule (see [`Branching`]).
+    pub branching: Branching,
+    /// Reliability threshold of pseudo-cost branching: a variable
+    /// direction with fewer recorded observations than this is
+    /// strong-branched instead of trusted (0 disables strong branching
+    /// entirely — pseudo-costs then initialize from node observations
+    /// only).
+    pub reliability: usize,
+    /// Dual-simplex pivot budget of one strong-branch probe.
+    pub strong_branch_pivots: usize,
+    /// At most this many unreliable candidates are strong-branched per
+    /// node (the rest fall back to their pseudo-cost estimates).
+    pub strong_branch_candidates: usize,
 }
 
 impl Default for SolverOptions {
@@ -274,6 +308,10 @@ impl Default for SolverOptions {
             refactor_fill_growth: 8.0,
             faults: None,
             workers: 1,
+            branching: Branching::PseudoCost,
+            reliability: 4,
+            strong_branch_pivots: 100,
+            strong_branch_candidates: 8,
         }
     }
 }
@@ -288,6 +326,40 @@ impl SolverOptions {
     }
 }
 
+/// A lazily-activated cutting plane: `expr >= rhs` is valid for every
+/// integer-feasible point, while `expr >= weak_rhs` is already implied
+/// by the LP relaxation.
+///
+/// Cut rows enter the standard form with the *weak* right-hand side, so
+/// the relaxation (and any backend that ignores cuts) is unchanged; the
+/// warm-started backend tightens a row to `rhs` the first time the node
+/// relaxation violates it (separation).
+#[derive(Debug, Clone)]
+pub struct Cut {
+    pub(crate) expr: LinExpr,
+    /// LP-implied right-hand side the row is born with.
+    pub(crate) weak_rhs: f64,
+    /// Integer-valid right-hand side activated on separation.
+    pub(crate) rhs: f64,
+}
+
+impl Cut {
+    /// The cut expression (constant part already folded into the rhs).
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The LP-implied (inactive) right-hand side.
+    pub fn weak_rhs(&self) -> f64 {
+        self.weak_rhs
+    }
+
+    /// The integer-valid (activated) right-hand side.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+}
+
 /// A mixed-integer linear program.
 ///
 /// See the [crate-level docs](crate) for an end-to-end example.
@@ -297,6 +369,7 @@ pub struct Model {
     pub(crate) objective: LinExpr,
     pub(crate) vars: Vec<Variable>,
     pub(crate) constraints: Vec<Constraint>,
+    pub(crate) cuts: Vec<Cut>,
 }
 
 impl Model {
@@ -307,6 +380,7 @@ impl Model {
             objective: LinExpr::new(),
             vars: Vec::new(),
             constraints: Vec::new(),
+            cuts: Vec::new(),
         }
     }
 
@@ -383,6 +457,44 @@ impl Model {
         );
         self.constraints.push(Constraint { expr: e, op, rhs });
         self.constraints.len() - 1
+    }
+
+    /// Adds a lazily-activated cutting plane `expr >= rhs` whose weak
+    /// form `expr >= weak_rhs` is LP-implied, and returns its index.
+    ///
+    /// The expression constant is folded into both right-hand sides,
+    /// mirroring [`Model::add_constraint`]. Only the warm-started
+    /// revised backend separates cuts; every other backend solves the
+    /// (equivalent) weak rows and remains correct.
+    pub fn add_cut(&mut self, expr: impl Into<LinExpr>, weak_rhs: f64, rhs: f64) -> usize {
+        let mut e = expr.into();
+        let shift = e.constant_part();
+        e.constant = 0.0;
+        e.compact();
+        debug_assert!(
+            e.iter().all(|(v, _)| v.index() < self.vars.len()),
+            "cut references a variable from another model"
+        );
+        debug_assert!(
+            weak_rhs <= rhs,
+            "cut weak rhs must not exceed the activated rhs"
+        );
+        self.cuts.push(Cut {
+            expr: e,
+            weak_rhs: weak_rhs - shift,
+            rhs: rhs - shift,
+        });
+        self.cuts.len() - 1
+    }
+
+    /// Number of lazily-activated cuts.
+    pub fn num_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The registered cuts, in insertion order.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
     }
 
     /// Fixes a variable to a value by tightening both bounds.

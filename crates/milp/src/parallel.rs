@@ -43,15 +43,16 @@
 //! [`crate::branch_bound`] core unchanged, which is what makes
 //! `workers = 1` bit-exact with the historical trajectories.
 
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::branch_bound::{
-    branch_children, finish, BranchBoundStats, Frontier, LpBackend, OpenNode, TreeNode, WarmBackend,
+    branch_children, finish, most_fractional_of, select_branch_var, BranchBoundStats, Frontier,
+    LpBackend, OpenNode, PseudoCosts, TreeNode, WarmBackend,
 };
 use crate::expr::VarId;
-use crate::model::{Model, Sense, SolverOptions};
+use crate::model::{Branching, Model, NodeOrder, Sense, SolverOptions};
 use crate::revised::Revised;
 use crate::solution::{Solution, SolveError};
 use crate::standard::BoxedForm;
@@ -79,6 +80,11 @@ struct Shared {
     node_bounds: Vec<f64>,
     /// Push sequence for heap tie-breaking.
     seq: usize,
+    /// Per worker: the signed bound of the node it claimed (`+∞` when
+    /// idle). A claim's bound lower-bounds every node its episode can
+    /// produce, so `min(frontier, episode_floor)` is a valid global
+    /// dual bound even while episodes are in flight.
+    episode_floor: Vec<f64>,
 }
 
 /// Incumbent state, separate from [`Shared`] so accepting an incumbent
@@ -106,6 +112,15 @@ struct Ctx<'m> {
     incumbent: Mutex<Incumbent>,
     /// Bits of the signed incumbent objective (`+inf` = no incumbent).
     cutoff: AtomicU64,
+    /// Shared pseudo-cost table: read lock-free (atomics) by every
+    /// worker's branching selection; node-degradation observations are
+    /// recorded under the existing shared (budget) lock at bound
+    /// publication.
+    pseudo: PseudoCosts,
+    /// Global cut-activation flags, one per cut row. A worker that
+    /// separates a cut publishes its flag; every other worker mirrors
+    /// set flags into its private kernel before each node solve.
+    cut_flags: Vec<AtomicBool>,
 }
 
 impl Ctx<'_> {
@@ -163,16 +178,26 @@ impl Ctx<'_> {
         installed
     }
 
-    /// Relative gap of the current incumbent against the root LP bound
-    /// (the serial core's stopping rule, evaluated on the shared state).
+    /// Gap termination test (the serial core's stopping rule, evaluated
+    /// on the shared state): against the root LP bound historically
+    /// (most-fractional mode, keeping the pinned goldens bit-exact), or
+    /// against the valid global dual bound — frontier minimum joined
+    /// with the in-flight episode floors — under pseudo-cost branching.
     fn within_gap(&self) -> bool {
-        let (root_bound, root_solved) = {
+        let bound = {
             let sh = self.shared.lock().unwrap();
-            (sh.root_bound, sh.root_solved)
+            if !sh.root_solved {
+                return false;
+            }
+            match self.opts.branching {
+                Branching::MostFractional => self.signed(sh.root_bound),
+                Branching::PseudoCost => sh
+                    .episode_floor
+                    .iter()
+                    .copied()
+                    .fold(sh.frontier.min_bound(), f64::min),
+            }
         };
-        if !root_solved {
-            return false;
-        }
         let inc = {
             let inc = self.incumbent.lock().unwrap();
             match &inc.best {
@@ -180,7 +205,7 @@ impl Ctx<'_> {
                 None => return false,
             }
         };
-        inc - self.signed(root_bound) <= self.opts.gap_tol * inc.abs().max(1.0)
+        inc - bound <= self.opts.gap_tol * inc.abs().max(1.0)
     }
 }
 
@@ -189,6 +214,8 @@ impl Ctx<'_> {
 /// currently has applied.
 struct Worker<'c, 'm> {
     ctx: &'c Ctx<'m>,
+    /// Index into [`Shared::episode_floor`].
+    id: usize,
     backend: WarmBackend<'m>,
     lo: Vec<f64>,
     hi: Vec<f64>,
@@ -214,12 +241,13 @@ impl Worker<'_, '_> {
             }
             let cutoff = ctx.cutoff();
             while let Some(o) = sh.frontier.pop() {
-                if o.key >= cutoff - 1e-9 {
+                if o.bound >= cutoff - 1e-9 {
                     // Its bound alone proves the subtree useless —
                     // individually sound, no global agreement needed.
                     continue;
                 }
                 sh.outstanding += 1;
+                sh.episode_floor[self.id] = o.bound;
                 return Some(o);
             }
             if sh.outstanding == 0 {
@@ -263,25 +291,29 @@ impl Worker<'_, '_> {
         arena[t].depth
     }
 
-    /// Branching variable: highest priority class, most fractional
-    /// within it (identical to the serial core).
-    fn most_fractional(&self, sol: &Solution) -> Option<(VarId, f64)> {
+    /// Branching variable, through the same shared selection functions
+    /// the serial core uses (pseudo-cost estimates read lock-free from
+    /// the shared table; strong-branch probes run on this worker's
+    /// private kernel).
+    fn pick_branch_var(&mut self, sol: &Solution) -> Option<(VarId, f64)> {
         let ctx = self.ctx;
-        let mut best: Option<(VarId, f64)> = None;
-        let mut best_key = (i32::MIN, ctx.opts.int_tol);
-        for &v in &ctx.int_vars {
-            let val = sol.value(v);
-            let frac = (val - val.round()).abs();
-            if frac <= ctx.opts.int_tol {
-                continue;
+        match ctx.opts.branching {
+            Branching::MostFractional => {
+                most_fractional_of(ctx.model, &ctx.int_vars, ctx.opts.int_tol, sol)
             }
-            let key = (ctx.model.var(v).priority(), frac);
-            if key > best_key {
-                best_key = key;
-                best = Some((v, val));
-            }
+            Branching::PseudoCost => select_branch_var(
+                &mut self.backend,
+                ctx.model,
+                ctx.opts,
+                &ctx.int_vars,
+                sol,
+                &self.lo,
+                &self.hi,
+                ctx.sense_mul,
+                &ctx.pseudo,
+                &mut self.stats,
+            ),
         }
-        best
     }
 
     /// Round-and-fix heuristic on this worker's kernel; the candidate is
@@ -307,6 +339,7 @@ impl Worker<'_, '_> {
 
     /// Queues the children of an expanded node onto the episode's dive
     /// stack. Must be called with the shared lock held (arena append).
+    #[allow(clippy::too_many_arguments)]
     fn expand(
         &self,
         sh: &mut Shared,
@@ -315,17 +348,49 @@ impl Worker<'_, '_> {
         bound: f64,
         basis: &Option<Arc<crate::revised::BasisState>>,
         dive: &mut Vec<OpenNode>,
+        sol: &Solution,
     ) {
+        let ctx = self.ctx;
         let vi = var.index();
-        let key = self.ctx.signed(bound);
+        let signed_bound = ctx.signed(bound);
+        // Best-estimate keys, mirroring the serial core (estimates order
+        // the queue; pruning reads `OpenNode::bound`).
+        let estimate = ctx.opts.branching == Branching::PseudoCost
+            && ctx.opts.node_order == NodeOrder::BestBound;
+        let common = if estimate {
+            let mut sum = 0.0;
+            for &v in &ctx.int_vars {
+                if v.index() == vi {
+                    continue;
+                }
+                let x = sol.value(v);
+                let fd = x - x.floor();
+                let fu = x.ceil() - x;
+                if fd.min(fu) <= ctx.opts.int_tol {
+                    continue;
+                }
+                let down = ctx.pseudo.estimate(v.index(), false) * fd;
+                let up = ctx.pseudo.estimate(v.index(), true) * fu;
+                sum += down.min(up).max(0.0);
+            }
+            sum
+        } else {
+            0.0
+        };
         let depth = sh.arena[t].depth + 1;
-        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi]);
+        let children = branch_children(t, depth, vi, val, self.lo[vi], self.hi[vi], bound);
         for child in children.into_iter().flatten() {
+            let key = if estimate {
+                signed_bound + common + ctx.pseudo.estimate(vi, child.up) * child.frac
+            } else {
+                signed_bound
+            };
             let idx = sh.arena.len();
             sh.arena.push(child);
             sh.seq += 1;
             dive.push(OpenNode {
                 node: idx,
+                bound: signed_bound,
                 key,
                 seq: sh.seq,
                 basis: basis.clone(),
@@ -349,20 +414,30 @@ impl Worker<'_, '_> {
         let mut ops: Vec<(usize, f64, f64)> = Vec::new();
         let mut solved = 0usize;
         while let Some(open) = dive.pop() {
-            if open.key >= ctx.cutoff() - 1e-9 {
+            if open.bound >= ctx.cutoff() - 1e-9 {
                 continue; // discarded unsolved, like the serial dive
             }
             // Lock 1: claim one unit of the shared node budget and read
-            // the box mutations that move this kernel to the node.
+            // the box mutations that move this kernel to the node. Early
+            // exits flush the unexplored entries (their bounds included)
+            // back to the frontier so the final dual bound stays valid.
             ops.clear();
             let (node_idx, depth) = {
                 let mut sh = ctx.shared.lock().unwrap();
                 if sh.done || sh.err.is_some() {
+                    sh.frontier.push(open);
+                    for e in dive.drain(..) {
+                        sh.frontier.push(e);
+                    }
                     return false;
                 }
                 if sh.nodes >= ctx.opts.max_nodes || ctx.out_of_clock() {
                     sh.truncated = true;
                     sh.done = true;
+                    sh.frontier.push(open);
+                    for e in dive.drain(..) {
+                        sh.frontier.push(e);
+                    }
                     drop(sh);
                     ctx.idle.notify_all();
                     return false;
@@ -378,7 +453,15 @@ impl Worker<'_, '_> {
                 self.backend.set_var_box(vi, lo, hi);
             }
             self.cur = open.node;
-            let relax =
+            // Mirror cut activations other workers published (an rhs
+            // tighten preserves dual feasibility, so the warm start
+            // survives).
+            for (i, flag) in ctx.cut_flags.iter().enumerate() {
+                if flag.load(AtomicOrdering::Relaxed) {
+                    self.backend.apply_cut(i);
+                }
+            }
+            let mut relax =
                 match self
                     .backend
                     .solve_node(ctx.opts, open.basis.as_deref(), &mut self.stats)
@@ -398,39 +481,86 @@ impl Worker<'_, '_> {
                             sh.err = Some(e);
                         }
                         sh.done = true;
+                        for e in dive.drain(..) {
+                            sh.frontier.push(e);
+                        }
                         drop(sh);
                         ctx.idle.notify_all();
                         return false;
                     }
                 };
+            // Lazy cut separation, as in the serial core: activate
+            // violated cuts (publishing each first activation globally)
+            // and re-solve; Infeasible closes the node.
+            let mut cut_closed = false;
+            if self.backend.cut_count() > 0 {
+                for _ in 0..8 {
+                    if self.backend.separate_cuts(&relax) == 0 {
+                        break;
+                    }
+                    for (i, flag) in ctx.cut_flags.iter().enumerate() {
+                        if self.backend.active_cuts[i] && !flag.swap(true, AtomicOrdering::Relaxed)
+                        {
+                            // First activation anywhere: count it once.
+                            self.stats.cuts_activated += 1;
+                        }
+                    }
+                    match self
+                        .backend
+                        .solve_node(ctx.opts, open.basis.as_deref(), &mut self.stats)
+                    {
+                        Ok(sol) => relax = sol,
+                        Err(SolveError::Infeasible) => {
+                            cut_closed = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
             solved += 1;
-            let pruned = ctx.signed(relax.objective) >= ctx.cutoff() - 1e-9;
-            // Branching decision and basis snapshot are pure local work.
+            let pruned = cut_closed || ctx.signed(relax.objective) >= ctx.cutoff() - 1e-9;
+            // Children warm-start from this node's optimal basis —
+            // snapshot before strong-branch probes or the heuristic
+            // perturb the kernel. Branching selection is local work
+            // (probes run on this worker's private kernel).
+            let my_basis = if pruned {
+                None
+            } else {
+                self.backend.snapshot(ctx.opts).map(Arc::new)
+            };
             let branch = if pruned {
                 None
             } else {
-                self.most_fractional(&relax)
+                self.pick_branch_var(&relax)
             };
             let heuristic_due = ctx.opts.rounding_heuristic
                 && branch.is_some()
                 && (depth == 0 || depth.is_multiple_of(8));
-            // Children warm-start from this node's optimal basis
-            // (snapshot before the heuristic perturbs the kernel).
-            let my_basis = if branch.is_some() {
-                self.backend.snapshot(ctx.opts).map(Arc::new)
-            } else {
-                None
-            };
             if heuristic_due {
                 self.offer_incumbent(&relax, node_idx + 1);
             }
-            // Lock 2: publish the bound; append the children.
+            // Lock 2: publish the bound, record the pseudo-cost
+            // observation (the shared table is updated under the
+            // existing budget lock), and append the children.
             {
                 let mut sh = ctx.shared.lock().unwrap();
                 sh.node_bounds[node_idx] = relax.objective;
                 if depth == 0 {
                     sh.root_bound = relax.objective;
                     sh.root_solved = true;
+                }
+                if ctx.opts.branching == Branching::PseudoCost {
+                    let nd = &sh.arena[open.node];
+                    if nd.vi != usize::MAX
+                        && nd.frac > ctx.opts.int_tol
+                        && nd.parent_obj.is_finite()
+                    {
+                        let degrade =
+                            (ctx.signed(relax.objective) - ctx.signed(nd.parent_obj)).max(0.0);
+                        ctx.pseudo.record(nd.vi, nd.up, degrade / nd.frac);
+                        self.stats.pseudo_updates += 1;
+                    }
                 }
                 if let Some(bv) = branch {
                     self.expand(
@@ -440,6 +570,7 @@ impl Worker<'_, '_> {
                         relax.objective,
                         &my_basis,
                         &mut dive,
+                        &relax,
                     );
                 }
             }
@@ -471,6 +602,7 @@ impl Worker<'_, '_> {
             let keep_going = self.episode(open);
             let mut sh = self.ctx.shared.lock().unwrap();
             sh.outstanding -= 1;
+            sh.episode_floor[self.id] = f64::INFINITY;
             if sh.outstanding == 0 && sh.frontier.len() == 0 {
                 sh.done = true;
             }
@@ -504,6 +636,7 @@ pub(crate) fn solve_parallel(
     let mut frontier = Frontier::new(opts.node_order);
     frontier.push(OpenNode {
         node: 0,
+        bound: f64::NEG_INFINITY,
         key: f64::NEG_INFINITY,
         seq: 0,
         basis: None,
@@ -530,6 +663,7 @@ pub(crate) fn solve_parallel(
             queue_peak: 1,
             node_bounds: Vec::new(),
             seq: 0,
+            episode_floor: vec![f64::INFINITY; workers],
         }),
         idle: Condvar::new(),
         incumbent: Mutex::new(Incumbent {
@@ -539,21 +673,27 @@ pub(crate) fn solve_parallel(
             incumbent_trace: Vec::new(),
         }),
         cutoff: AtomicU64::new(f64::INFINITY.to_bits()),
+        pseudo: PseudoCosts::new(model.vars.len()),
+        cut_flags: (0..form.cut_rows.len())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
     };
     // The serial cap (one integral leaf per episode) divided across the
     // workers, so early episodes start feeding the frontier quickly.
     let episode_cap = (64.max(2 * int_count) / workers).max(8);
     let mut pool: Vec<Worker> = (0..workers)
-        .map(|_| {
+        .map(|id| {
             let mut kernel = Revised::new(&form, opts);
             kernel.set_deadline(deadline);
             Worker {
                 ctx: &ctx,
+                id,
                 backend: WarmBackend {
                     model,
                     form: Arc::clone(&form),
                     int_cols: int_cols.clone(),
                     kernel,
+                    active_cuts: vec![false; form.cut_rows.len()],
                 },
                 lo: model.vars.iter().map(|v| v.lower).collect(),
                 hi: model.vars.iter().map(|v| v.upper).collect(),
@@ -614,8 +754,12 @@ pub(crate) fn solve_parallel(
         stats.peak_u_nnz = stats.peak_u_nnz.max(w.peak_u_nnz);
         stats.peak_lu_nnz = stats.peak_lu_nnz.max(w.peak_lu_nnz);
         stats.basis_rows = stats.basis_rows.max(w.basis_rows);
+        stats.strong_branches += w.strong_branches;
+        stats.pseudo_updates += w.pseudo_updates;
+        stats.cuts_activated += w.cuts_activated;
         stats.recovery.absorb(&w.recovery);
     }
+    stats.cuts_added = form.cut_rows.len();
     let shared = ctx.shared.into_inner().unwrap();
     if let Some(e) = shared.err {
         return Err(e);
@@ -629,5 +773,20 @@ pub(crate) fn solve_parallel(
     stats.incumbents = inc.incumbents;
     stats.first_incumbent_node = inc.first_incumbent_node;
     stats.incumbent_trace = inc.incumbent_trace;
+    // Proven dual bound: frontier leftovers (flushed back by every early
+    // episode exit) joined with the incumbent; completed searches have an
+    // empty frontier, so the bound collapses to the incumbent objective.
+    let sense_mul = ctx.sense_mul;
+    let open_min = shared.frontier.min_bound();
+    let inc_signed = inc
+        .best
+        .as_ref()
+        .map_or(f64::INFINITY, |b| sense_mul * b.objective);
+    let bound = open_min.min(inc_signed);
+    stats.dual_bound = if bound.is_finite() {
+        sense_mul * bound
+    } else {
+        shared.root_bound
+    };
     finish(inc.best, stats)
 }

@@ -17,7 +17,9 @@
 use proptest::prelude::*;
 
 use crate::factor::{Eta, Factor, FactorConfig};
-use crate::model::{cmp, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind};
+use crate::model::{
+    cmp, Branching, FactorKind, Kernel, Model, NodeOrder, Sense, SolverOptions, UpdateKind,
+};
 use crate::solution::SolveError;
 use crate::LinExpr;
 
@@ -410,9 +412,13 @@ proptest! {
     #[test]
     fn best_bound_expands_no_more_nodes_than_dfs_plus_ties(lp in planted_lp(5, 4)) {
         let (m, _vars) = lp.build();
+        // Pinned to most-fractional branching: the tie-counting argument
+        // assumes both trees branch identically at every shared node,
+        // which pseudo-cost probing (history-dependent) would break.
         let base = SolverOptions {
             max_nodes: 20_000,
             warm_start: false,
+            branching: Branching::MostFractional,
             ..Default::default()
         };
         let dfs = crate::solve_with_stats(&m, &base).expect("planted MILP must be feasible");
@@ -445,6 +451,47 @@ proptest! {
                 dfs.1.nodes,
                 ties
             );
+        }
+    }
+
+    /// **Branching-rule oracle**: pseudo-cost branching (reliability
+    /// probes, best-estimate scoring) changes which nodes get explored,
+    /// never which answer comes out. For every `NodeOrder` × `workers ∈
+    /// {1, 2}` combination, a completed pseudo-cost run and a completed
+    /// most-fractional run must agree on the objective, and both must
+    /// return feasible integral points. (Planted models carry no
+    /// cycle-sum cuts, so this isolates the branching layer.)
+    #[test]
+    fn pseudo_cost_and_most_fractional_agree(lp in planted_lp(5, 4)) {
+        let (m, _vars) = lp.build();
+        let mut reference: Option<f64> = None;
+        for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
+            for workers in [1usize, 2] {
+                for branching in [Branching::MostFractional, Branching::PseudoCost] {
+                    let opts = SolverOptions {
+                        max_nodes: 4_000,
+                        node_order: order,
+                        workers,
+                        branching,
+                        ..Default::default()
+                    };
+                    let (sol, stats) =
+                        crate::solve_with_stats(&m, &opts).expect("planted MILP must be feasible");
+                    prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5);
+                    if stats.truncated {
+                        continue;
+                    }
+                    match reference {
+                        None => reference = Some(sol.objective),
+                        Some(r) => prop_assert!(
+                            (sol.objective - r).abs() < 1e-7,
+                            "{order:?}/workers={workers}/{branching:?}: {} vs reference {}",
+                            sol.objective,
+                            r
+                        ),
+                    }
+                }
+            }
         }
     }
 

@@ -213,10 +213,8 @@ impl Revised {
 
     /// Overwrites one row's right-hand side. `x_B` is lazily corrected
     /// by a sparse FTRAN at the next pivot run; dual feasibility is
-    /// unaffected. (Branch & bound mutates column boxes instead, but rhs
-    /// mutation is the natural hook for future cut management — kept
-    /// under test in this module.)
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// unaffected. Branch & bound uses this to activate lazily-separated
+    /// cut rows (tightening a `>=` surplus row's rhs in place).
     pub fn set_rhs(&mut self, row: usize, value: f64) {
         let delta = value - self.b[row];
         if delta != 0.0 {

@@ -194,6 +194,74 @@ pub fn find_nonpositive_cycle_with(g: &Rrg, weight: impl Fn(EdgeId) -> i64) -> O
     Some(cycle)
 }
 
+/// Enumerates directed simple cycles as DFS back-edge ("fundamental")
+/// cycles: every edge closing back onto the active DFS path yields the
+/// tree path plus the closing edge. At most one cycle per back edge is
+/// produced (so at most `|E|` overall, capped at `max_cycles`), cycles
+/// never repeat a node, and the traversal order — nodes ascending,
+/// successor lists in insertion order — makes the result deterministic.
+/// Cross and forward edges are skipped, so this is a cheap structural
+/// sample of the cycle space, not an exhaustive enumeration (which is
+/// exponential); the MILP layer uses it to derive cycle-sum cuts.
+pub fn fundamental_cycles(g: &Rrg, max_cycles: usize) -> Vec<Vec<EdgeId>> {
+    let n = g.num_nodes();
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: usize,
+        edge_pos: usize,
+    }
+    // 0 = unvisited, 1 = on the active DFS path, 2 = finished.
+    let mut state = vec![0u8; n];
+    let mut pos_in_path = vec![usize::MAX; n];
+    let mut cycles: Vec<Vec<EdgeId>> = Vec::new();
+    for root in 0..n {
+        if state[root] != 0 || cycles.len() >= max_cycles {
+            continue;
+        }
+        let mut call = vec![Frame {
+            node: root,
+            edge_pos: 0,
+        }];
+        // `path_edges[i]` is the tree edge into `call[i + 1]`.
+        let mut path_edges: Vec<EdgeId> = Vec::new();
+        state[root] = 1;
+        pos_in_path[root] = 0;
+        while let Some(frame) = call.last_mut() {
+            let v = frame.node;
+            if frame.edge_pos < g.succ[v].len() {
+                let e = g.succ[v][frame.edge_pos];
+                frame.edge_pos += 1;
+                let w = g.edges[e.0].target.0;
+                match state[w] {
+                    0 => {
+                        state[w] = 1;
+                        pos_in_path[w] = call.len();
+                        call.push(Frame {
+                            node: w,
+                            edge_pos: 0,
+                        });
+                        path_edges.push(e);
+                    }
+                    1 if cycles.len() < max_cycles => {
+                        let mut cyc: Vec<EdgeId> = path_edges[pos_in_path[w]..].to_vec();
+                        cyc.push(e);
+                        cycles.push(cyc);
+                    }
+                    _ => {}
+                }
+            } else {
+                state[v] = 2;
+                pos_in_path[v] = usize::MAX;
+                call.pop();
+                if !call.is_empty() {
+                    path_edges.pop();
+                }
+            }
+        }
+    }
+    cycles
+}
+
 /// Topological order of the nodes w.r.t. the *combinational* subgraph (the
 /// edges with `buffers(e) == 0` under the supplied buffer assignment).
 ///
@@ -325,6 +393,32 @@ mod tests {
             g.edge(*cyc.last().unwrap()).target(),
             g.edge(cyc[0]).source()
         );
+    }
+
+    #[test]
+    fn fundamental_cycles_are_simple_closed_and_deterministic() {
+        let g = diamond_with_back_edge();
+        let cycles = fundamental_cycles(&g, usize::MAX);
+        // One back edge (d → a) on the first DFS path: one cycle.
+        assert_eq!(cycles.len(), 1);
+        for cyc in &cycles {
+            // Consecutive edges chain up and the last closes onto the first.
+            for w in cyc.windows(2) {
+                assert_eq!(g.edge(w[0]).target(), g.edge(w[1]).source());
+            }
+            assert_eq!(
+                g.edge(*cyc.last().unwrap()).target(),
+                g.edge(cyc[0]).source()
+            );
+            // Simple: no node repeats.
+            let mut nodes: Vec<usize> = cyc.iter().map(|&e| g.edge(e).source().0).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), cyc.len());
+        }
+        assert_eq!(fundamental_cycles(&g, 0).len(), 0);
+        // Deterministic: identical call, identical result.
+        assert_eq!(cycles, fundamental_cycles(&g, usize::MAX));
     }
 
     #[test]

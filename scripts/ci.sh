@@ -51,6 +51,24 @@ cargo test -q --offline --release --test fault_injection
 echo "==> cargo test --test parallel_search (parallel-search determinism gate)"
 cargo test -q --offline --release --test parallel_search
 
+# The pseudo-cost trajectory gate: node-count goldens for the default
+# search (pseudo-cost branching + cycle-sum cuts) on fixed-seed
+# instances, the search-strength comparisons against most-fractional,
+# and the dual-bound/gap regression tests. Fixed seeds and node caps.
+echo "==> cargo test --test pseudo_cost_search (pseudo-cost golden gate)"
+cargo test -q --offline --release --test pseudo_cost_search
+
+# The reduced Table-2 sweep: all 18 ISCAS89 profiles scaled to 20 edges
+# under a deterministic per-MILP node budget (the generous wall clock
+# never binds in practice). Before pseudo-cost branching and cycle-sum
+# cuts, the low-θ MIN_CYC steps of the sweep blew any such budget on
+# most circuits; the gate holds the line at ≥ 12 of 18 circuits with
+# every MILP in their sweeps proven within gap (currently 17–18). The
+# sweep's per-circuit records append to BENCH_milp.json.
+echo "==> table2 --max-edges 20 (reduced Table-2 sweep gate)"
+cargo run --release -q -p rr-bench --bin table2 --offline -- \
+  --max-edges 20 --max-nodes 20000 --time-limit 600 --require-complete 12
+
 # Bench code must at least compile so the perf harness can't silently
 # rot between PRs (running the benches stays a manual/nightly job); this
 # also covers the ordering and parallel A/B arms of milp_scaling

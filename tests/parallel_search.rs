@@ -24,13 +24,15 @@
 use rr_bench::{milp_bench_instance as bench_instance, parallel_map_bounded};
 use rr_core::{formulation, CoreOptions};
 use rr_milp::{
-    cmp, solve_with_stats, FactorKind, FaultPlan, LinExpr, Model, NodeOrder, Sense, SolverOptions,
-    Status, UpdateKind,
+    cmp, solve_with_stats, Branching, FactorKind, FaultPlan, LinExpr, Model, NodeOrder, Sense,
+    SolverOptions, Status, UpdateKind,
 };
 use rr_rrg::figures;
 use rr_rrg::Rrg;
 
-/// Deterministic solver options: node caps only, no wall clock.
+/// Deterministic solver options: node caps only, no wall clock. Pinned
+/// to most-fractional branching without cycle-sum cuts — the regime the
+/// trajectory goldens were captured under.
 fn capped(order: NodeOrder, max_nodes: usize, workers: usize) -> CoreOptions {
     let mut opts = CoreOptions::fast();
     opts.solver.time_limit = None;
@@ -39,6 +41,8 @@ fn capped(order: NodeOrder, max_nodes: usize, workers: usize) -> CoreOptions {
     opts.solver.factor = FactorKind::Sparse;
     opts.solver.gap_tol = 1e-9;
     opts.solver.workers = workers;
+    opts.solver.branching = Branching::MostFractional;
+    opts.cuts = false;
     opts
 }
 
@@ -91,6 +95,7 @@ fn one_worker_matches_the_serial_goldens_bit_exact() {
     let m = ring_difference_milp(12, 6);
     let serial = SolverOptions {
         update: UpdateKind::ProductForm,
+        branching: Branching::MostFractional,
         ..SolverOptions::default()
     };
     let explicit = SolverOptions {
@@ -181,7 +186,10 @@ fn parallel_workers_prove_identical_optima_on_table1_instances() {
             if !par.proven_optimal {
                 return format!("{name}/{problem}: {workers} workers did not prove optimality");
             }
-            if (par.objective - serial.objective).abs() > 1e-7 {
+            // Relative tolerance: different pivot paths leave LP-level
+            // noise in the recovered objective, which scales with its
+            // magnitude (bench40's τ ≈ 54.6 wobbles by ~2e-7).
+            if (par.objective - serial.objective).abs() > 1e-7 * serial.objective.abs().max(1.0) {
                 return format!(
                     "{name}/{problem}: {workers} workers found {} vs serial {}",
                     par.objective, serial.objective

@@ -18,19 +18,24 @@
 use rr_bench::milp_bench_instance as bench_instance;
 use rr_core::{formulation, CoreOptions};
 use rr_milp::{
-    cmp, solve_with_stats, FactorKind, LinExpr, Model, NodeOrder, Sense, SolverOptions, Status,
-    UpdateKind,
+    cmp, solve_with_stats, Branching, FactorKind, LinExpr, Model, NodeOrder, Sense, SolverOptions,
+    Status, UpdateKind,
 };
 use rr_rrg::figures;
 use rr_rrg::Rrg;
 
-/// Deterministic solver options: node caps only, no wall clock.
+/// Deterministic solver options: node caps only, no wall clock. The
+/// goldens below were captured under most-fractional branching without
+/// cycle-sum cuts, so both are pinned off here (the pseudo-cost default
+/// has its own goldens in `pseudo_cost_search.rs`).
 fn capped(order: NodeOrder, max_nodes: usize, factor: FactorKind) -> CoreOptions {
     let mut opts = CoreOptions::fast();
     opts.solver.time_limit = None;
     opts.solver.max_nodes = max_nodes;
     opts.solver.node_order = order;
     opts.solver.factor = factor;
+    opts.solver.branching = Branching::MostFractional;
+    opts.cuts = false;
     opts
 }
 
@@ -74,6 +79,7 @@ fn dfs_reproduces_pre_refactor_trajectory_on_ring_milp() {
     let m = ring_difference_milp(12, 6);
     let opts = SolverOptions {
         update: UpdateKind::ProductForm,
+        branching: Branching::MostFractional,
         ..SolverOptions::default()
     };
     let (sol, stats) = solve_with_stats(&m, &opts).unwrap();
