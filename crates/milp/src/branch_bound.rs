@@ -151,6 +151,21 @@ pub struct BranchBoundStats {
     /// [`crate::recover`]; warm path only — the legacy per-node-rebuild
     /// path reports the default).
     pub recovery: RecoveryStats,
+    /// Basis-change pivots performed by the dual reoptimizer — the warm
+    /// B&B hot path (warm path only; a subset of `simplex_iters`).
+    pub dual_pivots: usize,
+    /// Basis-change pivots performed by the primal phases, including
+    /// artificial drive-out swaps (warm path only).
+    pub primal_pivots: usize,
+    /// Bound flips: primal span-exhausted entering columns plus the
+    /// long-step dual ratio test's flipped candidates (warm path only;
+    /// `dual_pivots + primal_pivots + bound_flips = simplex_iters`
+    /// there).
+    pub bound_flips: usize,
+    /// Pricing reference frameworks reset to units: drifted dual
+    /// steepest-edge weights (also recorded in `recovery`) plus routine
+    /// Devex reference resets (see [`crate::Pricing`]; warm path only).
+    pub weight_resets: usize,
 }
 
 /// Outcome of one strong-branch child probe (see
@@ -675,6 +690,10 @@ impl LpBackend for WarmBackend<'_> {
         stats.peak_u_nnz = stats.peak_u_nnz.max(self.kernel.factor_stats.peak_u_nnz);
         stats.basis_rows = self.kernel.dims().0;
         stats.recovery.absorb(self.kernel.recovery());
+        stats.dual_pivots += self.kernel.pricing_stats.dual_pivots;
+        stats.primal_pivots += self.kernel.pricing_stats.primal_pivots;
+        stats.bound_flips += self.kernel.pricing_stats.bound_flips;
+        stats.weight_resets += self.kernel.pricing_stats.weight_resets;
     }
 
     fn cut_count(&self) -> usize {

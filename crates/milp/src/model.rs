@@ -164,6 +164,32 @@ pub enum UpdateKind {
     ProductForm,
 }
 
+/// Pricing rule of the revised simplex kernel — how the primal phase
+/// picks its entering column and how the dual reoptimizer picks its
+/// leaving row (see the crate-level "Pricing" docs). Ignored by
+/// [`Kernel::DenseTableau`], which prices Dantzig unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Steepest-edge-style pricing in both simplex directions: the dual
+    /// reoptimizer normalizes each row's box violation by a maintained
+    /// reference weight `‖B⁻ᵀe_r‖²` (updated per pivot from the vectors
+    /// the pivot already computed, with a drift check that resets the
+    /// reference framework through the recovery ladder), the primal
+    /// phase prices by Devex reference weights instead of the bare
+    /// reduced cost, and the dual ratio test takes **long steps**:
+    /// entering candidates whose box span is exhausted flip bounds and
+    /// the scan continues, so one dual pivot can cross many
+    /// breakpoints. The production default.
+    #[default]
+    SteepestEdge,
+    /// The historical rule: Dantzig (most negative reduced cost /
+    /// worst absolute violation) with the automatic Bland fallback,
+    /// no reference weights, one breakpoint per dual pivot. The
+    /// bit-exact trajectory goldens pin this mode so their numbers
+    /// stay comparable across PRs.
+    Dantzig,
+}
+
 /// Node selection strategy of the branch & bound search (see the
 /// `branch_bound` module docs for the search-core architecture).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -282,6 +308,8 @@ pub struct SolverOptions {
     /// At most this many unreliable candidates are strong-branched per
     /// node (the rest fall back to their pseudo-cost estimates).
     pub strong_branch_candidates: usize,
+    /// Simplex pricing rule (see [`Pricing`]).
+    pub pricing: Pricing,
 }
 
 impl Default for SolverOptions {
@@ -312,6 +340,7 @@ impl Default for SolverOptions {
             reliability: 4,
             strong_branch_pivots: 100,
             strong_branch_candidates: 8,
+            pricing: Pricing::SteepestEdge,
         }
     }
 }

@@ -758,6 +758,10 @@ pub(crate) fn solve_parallel(
         stats.pseudo_updates += w.pseudo_updates;
         stats.cuts_activated += w.cuts_activated;
         stats.recovery.absorb(&w.recovery);
+        stats.dual_pivots += w.dual_pivots;
+        stats.primal_pivots += w.primal_pivots;
+        stats.bound_flips += w.bound_flips;
+        stats.weight_resets += w.weight_resets;
     }
     stats.cuts_added = form.cut_rows.len();
     let shared = ctx.shared.into_inner().unwrap();

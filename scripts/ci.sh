@@ -58,6 +58,15 @@ cargo test -q --offline --release --test parallel_search
 echo "==> cargo test --test pseudo_cost_search (pseudo-cost golden gate)"
 cargo test -q --offline --release --test pseudo_cost_search
 
+# The pricing gate: steepest-edge (dual steepest-edge rows + Devex
+# columns + long-step ratio test) and the historical Dantzig rule must
+# prove identical optima on the Table-1 figures and the bench-20
+# instance across orderings and worker counts, steepest edge must
+# terminate on a massively degenerate model, and the directional pivot
+# counters must tie out against the kernel's iteration ledger.
+echo "==> cargo test --test pricing_search (pricing agreement gate)"
+cargo test -q --offline --release --test pricing_search
+
 # The reduced Table-2 sweep: all 18 ISCAS89 profiles scaled to 20 edges
 # under a deterministic per-MILP node budget (the generous wall clock
 # never binds in practice). Before pseudo-cost branching and cycle-sum

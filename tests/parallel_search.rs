@@ -24,8 +24,8 @@
 use rr_bench::{milp_bench_instance as bench_instance, parallel_map_bounded};
 use rr_core::{formulation, CoreOptions};
 use rr_milp::{
-    cmp, solve_with_stats, Branching, FactorKind, FaultPlan, LinExpr, Model, NodeOrder, Sense,
-    SolverOptions, Status, UpdateKind,
+    cmp, solve_with_stats, Branching, FactorKind, FaultPlan, LinExpr, Model, NodeOrder, Pricing,
+    Sense, SolverOptions, Status, UpdateKind,
 };
 use rr_rrg::figures;
 use rr_rrg::Rrg;
@@ -42,6 +42,7 @@ fn capped(order: NodeOrder, max_nodes: usize, workers: usize) -> CoreOptions {
     opts.solver.gap_tol = 1e-9;
     opts.solver.workers = workers;
     opts.solver.branching = Branching::MostFractional;
+    opts.solver.pricing = Pricing::Dantzig;
     opts.cuts = false;
     opts
 }
@@ -96,6 +97,7 @@ fn one_worker_matches_the_serial_goldens_bit_exact() {
     let serial = SolverOptions {
         update: UpdateKind::ProductForm,
         branching: Branching::MostFractional,
+        pricing: Pricing::Dantzig,
         ..SolverOptions::default()
     };
     let explicit = SolverOptions {
