@@ -29,7 +29,8 @@ use rr_bench::bench_log::{append, JsonRecord};
 use rr_bench::milp_bench_instance as instance;
 use rr_core::{formulation, CoreOptions};
 use rr_milp::{
-    Branching, FactorKind, FaultPlan, Kernel, NodeOrder, Pricing, RecoveryStats, UpdateKind,
+    cmp, solve_with_stats, Branching, FactorKind, FaultPlan, Kernel, LinExpr, Model, NodeOrder,
+    Pricing, RecoveryStats, Sense, SolverOptions, UpdateKind,
 };
 use rr_rrg::Rrg;
 use rr_tgmg::{lp_bound, skeleton::tgmg_of};
@@ -987,11 +988,181 @@ fn parallel_comparison(_c: &mut Criterion) {
     );
 }
 
+/// A retiming-lag MILP in the deleted legacy backend's model class: the
+/// lags `r_i` are **fully free integers** (split-pair columns in
+/// standard form, exactly the paper's retiming variables) with ring
+/// difference rows at fractional offsets and knapsack coupling rows
+/// breaking total unimodularity, plus one **mirrored** capacity variable
+/// (upper bound only, no lower bound). Before PR 10 this instance
+/// routed to the rebuild-per-node `LegacyBackend`; now it branches on
+/// the warm revised path like every other model.
+///
+/// `n` must be a multiple of 3: the ring rows integer-tighten to
+/// difference caps cycling through {−1, 0, +1}, and any other `n` makes
+/// their cyclic sum negative — an instance that is LP-feasible but
+/// integer-infeasible, which no branch & bound can *prove* when the
+/// lags are free (the infeasibility is invariant under shifting all
+/// lags, so the unbounded boxes never exhaust).
+fn free_lag_retiming_milp(n: usize, rows: usize) -> Model {
+    assert!(n.is_multiple_of(3), "see the doc comment: n % 3 == 0");
+    let mut m = Model::new(Sense::Minimize);
+    let lags: Vec<_> = (0..n)
+        .map(|i| m.add_integer(format!("r{i}"), f64::NEG_INFINITY, f64::INFINITY))
+        .collect();
+    let cap = m.add_integer("cap", f64::NEG_INFINITY, n as f64 / 2.0 + 0.7);
+    let mut obj = LinExpr::new();
+    for (i, &v) in lags.iter().enumerate() {
+        obj += ((i % 4 + 1) as f64) * v;
+    }
+    obj += -2.0 * cap;
+    m.set_objective(obj);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        m.add_constraint(lags[i] - lags[j], cmp::LE, ((i % 3) as f64) - 0.5);
+    }
+    for r in 0..rows {
+        let mut row = LinExpr::new();
+        for (i, &v) in lags.iter().enumerate() {
+            row += (((i + r) % 5 + 1) as f64) * v;
+        }
+        m.add_constraint(row, cmp::GE, 2.5 * n as f64 + r as f64);
+    }
+    // The mirrored capacity rides under the total lag mass, so its
+    // branch-and-bound boxes interact with the free split pairs.
+    let mut total = LinExpr::new();
+    for &v in &lags {
+        total += 1.0 * v;
+    }
+    m.add_constraint(total - cap, cmp::GE, 0.3);
+    m
+}
+
+/// One warm-vs-rebuild measurement on a mirrored/free-integer instance.
+struct MirroredMeasurement {
+    record: JsonRecord,
+    wall_ms: f64,
+    objective: f64,
+    pivots: usize,
+    nodes: usize,
+    cold_solves: usize,
+    truncated: bool,
+}
+
+fn measure_mirrored(name: &str, m: &Model, warm: bool) -> MirroredMeasurement {
+    let opts = SolverOptions {
+        max_nodes: 50_000,
+        warm_start: warm,
+        ..SolverOptions::default()
+    };
+    let t0 = Instant::now();
+    let (sol, stats) = solve_with_stats(m, &opts).expect("retiming-lag MILP solves");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let record = JsonRecord::new("milp_scaling")
+        .str("problem", "mirrored_free_lags")
+        .str("instance", name)
+        .str("variant", if warm { "warm" } else { "rebuild_proxy" })
+        .num("wall_ms", wall_ms)
+        .num("objective", sol.objective)
+        .int("nodes", stats.nodes as u64)
+        .int("pivots", stats.simplex_iters as u64)
+        .int("warm_solves", stats.warm_solves as u64)
+        .int("cold_solves", stats.cold_solves as u64)
+        .int("truncated", u64::from(stats.truncated));
+    MirroredMeasurement {
+        record,
+        wall_ms,
+        objective: sol.objective,
+        pivots: stats.simplex_iters,
+        nodes: stats.nodes,
+        cold_solves: stats.cold_solves,
+        truncated: stats.truncated,
+    }
+}
+
+/// The mirrored/free-integer A/B — the PR 10 backend-unification perf
+/// contract: retiming-lag instances whose integers are fully free
+/// (split-pair) or mirrored now branch warm, and warm-starting must
+/// beat solving every node from scratch. The baseline is the same warm
+/// backend with `warm_start: false` — a faithful cost proxy for the
+/// deleted `LegacyBackend`, which rebuilt and cold-solved a dense
+/// tableau at every node (the proxy is *generous* to the legacy side:
+/// it at least keeps the revised kernel). Records land in
+/// `BENCH_milp.json` before the assertions, so a regression fails
+/// loudly with the evidence on disk. The contract: identical objectives,
+/// `cold_solves == 1` on the warm run, and **strictly fewer pivots**
+/// than the rebuild proxy on every instance.
+fn mirrored_comparison(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+    let cases: [(&str, Model); 2] = [
+        ("lags12", free_lag_retiming_milp(12, 6)),
+        ("lags15", free_lag_retiming_milp(15, 7)),
+    ];
+    for (name, m) in &cases {
+        let warm = measure_mirrored(name, m, true);
+        let rebuild = measure_mirrored(name, m, false);
+        println!(
+            "mirrored comparison: {name}: warm {:.1} ms obj {} in {} pivots / {} nodes \
+             ({} cold){} vs rebuild proxy {:.1} ms obj {} in {} pivots / {} nodes ({} cold){}",
+            warm.wall_ms,
+            warm.objective,
+            warm.pivots,
+            warm.nodes,
+            warm.cold_solves,
+            if warm.truncated { " (truncated)" } else { "" },
+            rebuild.wall_ms,
+            rebuild.objective,
+            rebuild.pivots,
+            rebuild.nodes,
+            rebuild.cold_solves,
+            if rebuild.truncated {
+                " (truncated)"
+            } else {
+                ""
+            },
+        );
+        records.push(warm.record.clone());
+        records.push(rebuild.record.clone());
+        if warm.truncated || rebuild.truncated {
+            regressions.push(format!(
+                "{name}: run truncated at the 50k-node cap — the instance no longer closes"
+            ));
+            continue;
+        }
+        if (warm.objective - rebuild.objective).abs() > 1e-7 * warm.objective.abs().max(1.0) {
+            regressions.push(format!(
+                "{name}: warm {} vs rebuild proxy {} — the box translation changed the optimum",
+                warm.objective, rebuild.objective
+            ));
+        }
+        if warm.cold_solves != 1 {
+            regressions.push(format!(
+                "{name}: warm run took {} cold solves — mirrored/free boxes are not \
+                 warm-starting",
+                warm.cold_solves
+            ));
+        }
+        if warm.pivots >= rebuild.pivots {
+            regressions.push(format!(
+                "{name}: warm path took {} pivots, rebuild proxy {} — warm-starting \
+                 mirrored/free integers is not paying for itself",
+                warm.pivots, rebuild.pivots
+            ));
+        }
+    }
+    append(&records);
+    assert!(
+        regressions.is_empty(),
+        "mirrored/free-integer regression (records already in BENCH_milp.json):\n{}",
+        regressions.join("\n")
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
     targets = bench_lp_scaling, bench_milp_scaling, kernel_comparison, ordering_comparison,
         branching_comparison, pricing_comparison, update_comparison, fault_comparison,
-        parallel_comparison
+        parallel_comparison, mirrored_comparison
 }
 criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Branch & bound for mixed-integer models: one generic **search core**,
-//! pluggable **node ordering**, two LP backends.
+//! pluggable **node ordering**, one LP backend.
 //!
 //! # Architecture: `SearchCore` / `NodeOrder` / `LpBackend`
 //!
@@ -35,20 +35,29 @@
 //!   ROADMAP / the 40-edge `MAX_THR` bench, where truncated DFS returns
 //!   4.0 and best-bound finds 3.0).
 //!
-//! * **LP backend** ([`LpBackend`]): [`WarmBackend`] runs the revised
-//!   kernel over a [`BoxedForm`] built once — branching rewrites a
-//!   column's `[lo, hi]` box in place, and since rhs/bound changes leave
-//!   reduced costs untouched, *any* optimal basis anywhere in the tree is
-//!   dual feasible for every node: nodes are reoptimized by a bounded
-//!   dual-simplex run from whatever basis the previous node left behind,
-//!   falling back to the parent snapshot, then to a cold two-phase solve
-//!   ([`SolverOptions::warm_start`]` = false` forces cold solves — the
-//!   warm-start A/B baseline). [`LegacyBackend`] clones the model and
-//!   rebuilds the standard form at every node — the dense-tableau oracle
-//!   path, and the fallback for models whose integer variables cannot be
-//!   boxed (mirrored or free integers). What used to be a separate
-//!   `LegacySearch` with its own copy of the budget/gap/branching logic
-//!   is now just this backend under the shared core.
+//! * **LP backend** ([`LpBackend`]): [`WarmBackend`] — the only
+//!   backend — runs the revised kernel over a [`BoxedForm`] built once.
+//!   Branching rewrites a column's `[lo, hi]` box in place, and since
+//!   rhs/bound changes leave reduced costs untouched, *any* optimal
+//!   basis anywhere in the tree is dual feasible for every node: nodes
+//!   are reoptimized by a bounded dual-simplex run from whatever basis
+//!   the previous node left behind, falling back to the parent snapshot,
+//!   then to a cold two-phase solve ([`SolverOptions::warm_start`]` =
+//!   false` forces cold solves — the warm-start A/B baseline). Every
+//!   variable shape branches natively: a box `[lo, hi]` on a shifted,
+//!   mirrored, or free (split-pair) integer translates to standard-form
+//!   column-bound updates via [`ColMap::box_updates`], so warm starts,
+//!   steepest-edge weights, and pseudo-costs survive across nodes for
+//!   all of them. The historical `LegacyBackend` (a model clone
+//!   re-solved from scratch at every node, mandatory for mirrored/free
+//!   integers and the dense-tableau kernel) is gone: the dense tableau
+//!   survives as a kernel-level oracle only — rung 6 of the per-node
+//!   recovery ladder, plus a whole-solve cross-validation pass when
+//!   [`Kernel::DenseTableau`] is requested for a MILP (the search runs
+//!   the warm backend in the oracle configuration from
+//!   [`SolverOptions::resolve`], then the incumbent's integer assignment
+//!   is pinned and re-solved by the genuine dense tableau, which must
+//!   reproduce the objective).
 //!
 //! The round-and-fix heuristic (round all integer variables of a
 //! relaxation, fix them, re-solve the continuous part) provides early
@@ -93,26 +102,24 @@ pub struct BranchBoundStats {
     /// Node LPs solved two-phase from scratch (root, fallbacks, and all
     /// nodes when warm starts are disabled).
     pub cold_solves: usize,
-    /// Basis refactorizations across the whole search (warm path only;
-    /// the legacy per-node-rebuild path reports 0).
+    /// Basis refactorizations across the whole search.
     pub refactors: usize,
     /// Successful Forrest–Tomlin factor updates (0 under
-    /// [`crate::UpdateKind::ProductForm`]; warm path only).
+    /// [`crate::UpdateKind::ProductForm`]).
     pub ft_updates: usize,
     /// Refactorizations forced by a refused (unstable) Forrest–Tomlin
-    /// update rather than the scheduled length/fill policy (warm path
-    /// only).
+    /// update rather than the scheduled length/fill policy.
     pub forced_refactors: usize,
     /// Largest nonzero count the (updated) `U` factor reached — the fill
     /// price of absorbing pivots into the factors under Forrest–Tomlin;
-    /// `m²` under [`crate::FactorKind::Dense`] (warm path only).
+    /// `m²` under [`crate::FactorKind::Dense`].
     pub peak_u_nnz: usize,
     /// Largest `nnz(L+U)` any basis snapshot reached — `m²` under
     /// [`crate::FactorKind::Dense`], the actual fill under
-    /// [`crate::FactorKind::Sparse`] (warm path only).
+    /// [`crate::FactorKind::Sparse`].
     pub peak_lu_nnz: usize,
     /// Basis dimension (constraint rows) of the bounded-variable form
-    /// (warm path only).
+    /// (0 for rowless models, which solve in closed form).
     pub basis_rows: usize,
     /// Node ordering the search ran with.
     pub order: NodeOrder,
@@ -132,7 +139,7 @@ pub struct BranchBoundStats {
     pub node_bounds: Vec<f64>,
     /// Candidates strong-branched by the reliability rule (each counts
     /// one probed candidate, i.e. up to two child dual-simplex probes;
-    /// pseudo-cost branching on the warm backend only).
+    /// pseudo-cost branching only).
     pub strong_branches: usize,
     /// Pseudo-cost observations recorded: node bound degradations plus
     /// strong-branch probe results (pseudo-cost branching only).
@@ -140,7 +147,7 @@ pub struct BranchBoundStats {
     /// Lazily-activatable cut rows carried by the standard form.
     pub cuts_added: usize,
     /// Cut activations across the whole search (a violated cut row
-    /// tightened in place to its integer-valid rhs; warm backend only).
+    /// tightened in place to its integer-valid rhs).
     pub cuts_activated: usize,
     /// Tightest proven dual bound at termination, in the model's sense:
     /// the frontier minimum joined with the incumbent. Equals the
@@ -148,23 +155,21 @@ pub struct BranchBoundStats {
     /// root bound when nothing tighter was proven.
     pub dual_bound: f64,
     /// Numerical-event and recovery-ladder counters (see
-    /// [`crate::recover`]; warm path only — the legacy per-node-rebuild
-    /// path reports the default).
+    /// [`crate::recover`]).
     pub recovery: RecoveryStats,
     /// Basis-change pivots performed by the dual reoptimizer — the warm
-    /// B&B hot path (warm path only; a subset of `simplex_iters`).
+    /// B&B hot path (a subset of `simplex_iters`).
     pub dual_pivots: usize,
     /// Basis-change pivots performed by the primal phases, including
-    /// artificial drive-out swaps (warm path only).
+    /// artificial drive-out swaps.
     pub primal_pivots: usize,
     /// Bound flips: primal span-exhausted entering columns plus the
-    /// long-step dual ratio test's flipped candidates (warm path only;
-    /// `dual_pivots + primal_pivots + bound_flips = simplex_iters`
-    /// there).
+    /// long-step dual ratio test's flipped candidates
+    /// (`dual_pivots + primal_pivots + bound_flips = simplex_iters`).
     pub bound_flips: usize,
     /// Pricing reference frameworks reset to units: drifted dual
     /// steepest-edge weights (also recorded in `recovery`) plus routine
-    /// Devex reference resets (see [`crate::Pricing`]; warm path only).
+    /// Devex reference resets (see [`crate::Pricing`]).
     pub weight_resets: usize,
 }
 
@@ -174,8 +179,8 @@ pub struct BranchBoundStats {
 /// never prunes, so an unverified probe cannot break correctness.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ProbeOutcome {
-    /// The backend could not probe (legacy backend, cold mode, kernel
-    /// not dual feasible, probe budget exhausted): use the estimate.
+    /// The backend could not probe (cold mode, kernel not dual feasible,
+    /// probe budget exhausted): use the estimate.
     Skipped,
     /// The child LP solved to optimality within the probe budget.
     Bound(f64),
@@ -268,18 +273,8 @@ impl PseudoCosts {
 /// solve the node relaxation, snapshot warm-start state, and run the
 /// round-and-fix / hint pinning protocols.
 pub(crate) trait LpBackend {
-    /// `true` when integral leaves are re-solved through
-    /// [`LpBackend::round_and_fix`] to snap the stored point exactly
-    /// (the legacy behaviour); the warm kernel accepts the relaxation
-    /// point directly.
-    const SNAP_LEAVES: bool;
-
-    /// Whether the variable participates in pinning (branchable in the
-    /// LP layer; variables fixed at the root are skipped by the warm
-    /// backend).
-    fn branchable(&self, vi: usize) -> bool;
-
-    /// Pushes a model variable's current box into the LP.
+    /// Pushes a model variable's current box into the LP (a no-op for
+    /// variables without standard-form columns, i.e. fixed at the root).
     fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64);
 
     /// Solves the current node LP and returns the relaxation optimum.
@@ -361,9 +356,11 @@ pub(crate) trait LpBackend {
 pub(crate) struct WarmBackend<'a> {
     pub(crate) model: &'a Model,
     pub(crate) form: Arc<BoxedForm>,
-    /// Per model variable: `(column, root lower bound)` of branchable
-    /// integers; `None` for fixed or continuous variables.
-    pub(crate) int_cols: Vec<Option<(usize, f64)>>,
+    /// Per model variable: the standard-form substitution of every
+    /// branchable integer (shifted, mirrored, or split); `None` for
+    /// continuous variables and integers fixed at the root. Branch boxes
+    /// translate through [`ColMap::box_updates`].
+    pub(crate) int_maps: Vec<Option<ColMap>>,
     pub(crate) kernel: Revised,
     /// Which cut rows have been activated (tightened to their
     /// integer-valid rhs). Activated rhs values live in `kernel.b`, and
@@ -527,15 +524,11 @@ impl WarmBackend<'_> {
 }
 
 impl LpBackend for WarmBackend<'_> {
-    const SNAP_LEAVES: bool = false;
-
-    fn branchable(&self, vi: usize) -> bool {
-        self.int_cols[vi].is_some()
-    }
-
     fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64) {
-        if let Some((col, lb0)) = self.int_cols[vi] {
-            self.kernel.set_col_bounds(col, lo - lb0, hi - lb0);
+        if let Some(map) = self.int_maps[vi] {
+            for (col, l, u) in map.box_updates(lo, hi).into_iter().flatten() {
+                self.kernel.set_col_bounds(col, l, u);
+            }
         }
     }
 
@@ -728,7 +721,7 @@ impl LpBackend for WarmBackend<'_> {
         restore_lo: f64,
         restore_hi: f64,
     ) -> ProbeOutcome {
-        if self.int_cols[vi].is_none() || !opts.warm_start || !self.kernel.dual_ok() {
+        if self.int_maps[vi].is_none() || !opts.warm_start || !self.kernel.dual_ok() {
             return ProbeOutcome::Skipped;
         }
         self.set_var_box(vi, lo, hi);
@@ -747,92 +740,6 @@ impl LpBackend for WarmBackend<'_> {
         self.set_var_box(vi, restore_lo, restore_hi);
         out
     }
-}
-
-/// Model-clone backend: rebuilds the standard form at every node. Used by
-/// the dense-tableau oracle kernel and by models whose integer variables
-/// cannot be boxed (lower bound −∞: mirrored or free integers).
-struct LegacyBackend {
-    model: Model,
-    /// Integer variables, cached for the snap re-solve.
-    int_vars: Vec<VarId>,
-}
-
-impl LpBackend for LegacyBackend {
-    const SNAP_LEAVES: bool = true;
-
-    fn branchable(&self, _vi: usize) -> bool {
-        true
-    }
-
-    fn set_var_box(&mut self, vi: usize, lo: f64, hi: f64) {
-        let v = &mut self.model.vars[vi];
-        v.lower = lo;
-        v.upper = hi;
-    }
-
-    fn solve_node(
-        &mut self,
-        opts: &SolverOptions,
-        _parent: Option<&BasisState>,
-        stats: &mut BranchBoundStats,
-    ) -> Result<Solution, SolveError> {
-        stats.cold_solves += 1;
-        let (sol, pivots) = self.model.solve_relaxation_counted(opts)?;
-        stats.simplex_iters += pivots;
-        Ok(sol)
-    }
-
-    fn snapshot(&self, _opts: &SolverOptions) -> Option<BasisState> {
-        None
-    }
-
-    /// Fixes **every** integer variable to its rounded value (clamped
-    /// into the node box) on a model clone and re-solves, so the stored
-    /// solution is exactly integral.
-    fn round_and_fix(
-        &mut self,
-        opts: &SolverOptions,
-        _pins: &[(usize, f64)],
-        _restore: &[(usize, f64, f64)],
-        fallback: &Solution,
-        stats: &mut BranchBoundStats,
-    ) -> Solution {
-        let mut fixed = self.model.clone();
-        for &v in &self.int_vars {
-            let val = fallback.value(v).round();
-            let var = fixed.var(v);
-            let val = val.clamp(var.lower(), var.upper());
-            fixed.fix_var(v, val);
-        }
-        match fixed.solve_relaxation_counted(opts) {
-            Ok((clean, pivots)) => {
-                stats.simplex_iters += pivots;
-                clean
-            }
-            // Snap re-solve failed: keep the relaxation point itself so
-            // an already-integral leaf is not discarded.
-            Err(_) => fallback.clone(),
-        }
-    }
-
-    fn seed_hint(
-        &mut self,
-        opts: &SolverOptions,
-        pins: &[(usize, f64)],
-        _restore: &[(usize, f64, f64)],
-        stats: &mut BranchBoundStats,
-    ) -> Option<Solution> {
-        let mut fixed = self.model.clone();
-        for &(vi, val) in pins {
-            fixed.fix_var(VarId(vi), val);
-        }
-        let (sol, pivots) = fixed.solve_relaxation_counted(opts).ok()?;
-        stats.simplex_iters += pivots;
-        Some(sol)
-    }
-
-    fn finish(&self, _stats: &mut BranchBoundStats) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -1404,18 +1311,17 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         }
     }
 
-    /// Round-and-fix heuristic: pin every branchable integer's box to
-    /// the rounded relaxation value, let the backend re-solve the
-    /// continuous part, and offer the result as an incumbent.
+    /// Round-and-fix heuristic: pin every integer's box to the rounded
+    /// relaxation value, let the backend re-solve the continuous part,
+    /// and offer the result as an incumbent. Integers fixed at the root
+    /// have no standard-form column — their pin/restore is a no-op in
+    /// the backend, so they are harmless to include.
     fn offer_incumbent(&mut self, sol: &Solution) {
         let mut pins: Vec<(usize, f64)> = Vec::with_capacity(self.int_vars.len());
         let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(self.int_vars.len());
         for k in 0..self.int_vars.len() {
             let v = self.int_vars[k];
             let vi = v.index();
-            if !self.backend.branchable(vi) {
-                continue; // fixed at the root; already integral
-            }
             let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
             pins.push((vi, val));
             restore.push((vi, self.lo[vi], self.hi[vi]));
@@ -1436,7 +1342,7 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
         let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(hint.len());
         for &(v, val) in hint {
             let vi = v.index();
-            if !self.model.var(v).is_integer() || !self.backend.branchable(vi) {
+            if !self.model.var(v).is_integer() {
                 continue;
             }
             let val = val.round().clamp(self.lo[vi], self.hi[vi]);
@@ -1736,13 +1642,8 @@ impl<'a, B: LpBackend> SearchCore<'a, B> {
             let my_basis = self.backend.snapshot(self.opts).map(Arc::new);
             let Some((var, val)) = self.pick_branch_var(&relax) else {
                 // Integral leaf: the relaxation point IS the optimal
-                // incumbent for this box (the legacy backend re-solves it
-                // once to snap the stored point exactly).
-                if B::SNAP_LEAVES {
-                    self.offer_incumbent(&relax);
-                } else {
-                    self.accept_incumbent(relax);
-                }
+                // incumbent for this box.
+                self.accept_incumbent(relax);
                 continue;
             };
             if self.opts.rounding_heuristic && (depth == 0 || depth.is_multiple_of(8)) {
@@ -1840,67 +1741,185 @@ pub fn solve_with_stats_hinted(
     // share a single wall-clock budget instead of each starting a fresh
     // one.
     let deadline = opts.time_limit.map(|limit| Instant::now() + limit);
-    // Cheap pre-check before paying for the standard-form build: every
-    // integer variable must be boxable (fixed, or finite lower bound).
-    let boxable = model
+    // All option normalization happens in one place; the original
+    // kernel request is only remembered to arm the whole-solve oracle
+    // cross-validation below.
+    let want_oracle = opts.kernel == Kernel::DenseTableau;
+    let (eff, _notes) = opts.resolve();
+    let opts = &eff;
+    let form = BoxedForm::build(model);
+    if form.sf.proven_infeasible {
+        // A constant row is violated: no point of any kind exists.
+        return Err(SolveError::Infeasible);
+    }
+    // Every non-fixed integer — shifted, mirrored, or free (split) —
+    // branches natively through its standard-form substitution.
+    let int_maps: Vec<Option<ColMap>> = model
         .vars
         .iter()
-        .all(|v| !v.integer || v.lower == v.upper || v.lower.is_finite());
-    if opts.kernel == Kernel::Revised && boxable {
-        let form = BoxedForm::build(model);
-        // Every integer variable must be boxable: fixed, or shifted by a
-        // finite lower bound (the upper bound may be infinite — branching
-        // down installs one).
-        let int_cols: Option<Vec<Option<(usize, f64)>>> = model
-            .vars
-            .iter()
-            .enumerate()
-            .map(|(vi, var)| {
-                if !var.integer {
-                    return Some(None);
-                }
-                match form.sf.map[vi] {
-                    ColMap::Fixed { .. } => Some(None),
-                    ColMap::Shifted { col, lb } => Some(Some((col, lb))),
-                    _ => None, // mirrored/free integer: legacy path
-                }
-            })
-            .collect();
-        if let Some(int_cols) = int_cols {
-            if !form.sf.proven_infeasible && !form.sf.rows.is_empty() {
-                let form = Arc::new(form);
-                if opts.workers >= 2 {
-                    return crate::parallel::solve_parallel(
-                        model, opts, hint, form, int_cols, deadline,
-                    );
-                }
-                let mut kernel = Revised::new(&form, opts);
-                kernel.set_deadline(deadline);
-                let active_cuts = vec![false; form.cut_rows.len()];
-                let backend = WarmBackend {
-                    model,
-                    form,
-                    int_cols,
-                    kernel,
-                    active_cuts,
-                };
-                return run_search(model, opts, hint, backend, deadline);
+        .enumerate()
+        .map(|(vi, var)| {
+            if !var.integer {
+                return None;
+            }
+            match form.sf.map[vi] {
+                ColMap::Fixed { .. } => None,
+                map => Some(map),
+            }
+        })
+        .collect();
+    if form.sf.rows.is_empty() {
+        // Every constraint was constant (and satisfied): the model
+        // separates per variable and solves in closed form.
+        let result = solve_rowless(model, opts);
+        if want_oracle {
+            if let Ok((sol, _)) = &result {
+                cross_validate_dense(model, opts, sol)?;
             }
         }
+        return result;
     }
-    // The legacy rebuild-per-node path (dense oracle, unboxable
-    // integers) is always serial: `workers` applies to the warm revised
-    // path only.
-    let int_vars: Vec<VarId> = model
-        .vars()
-        .filter(|(_, v)| v.is_integer())
-        .map(|(id, _)| id)
-        .collect();
-    let backend = LegacyBackend {
-        model: model.clone(),
-        int_vars,
+    let form = Arc::new(form);
+    let result = if opts.workers >= 2 {
+        crate::parallel::solve_parallel(model, opts, hint, form, int_maps, deadline)
+    } else {
+        let mut kernel = Revised::new(&form, opts);
+        kernel.set_deadline(deadline);
+        let active_cuts = vec![false; form.cut_rows.len()];
+        let backend = WarmBackend {
+            model,
+            form,
+            int_maps,
+            kernel,
+            active_cuts,
+        };
+        run_search(model, opts, hint, backend, deadline)
     };
-    run_search(model, opts, hint, backend, deadline)
+    if want_oracle {
+        if let Ok((sol, _)) = &result {
+            cross_validate_dense(model, opts, sol)?;
+        }
+    }
+    result
+}
+
+/// Closed-form solve of a rowless model (every constraint folded to a
+/// satisfied constant): the objective separates per variable, so each
+/// one independently takes the best value in its (integer-tightened)
+/// box. Mirrors the rowless short-circuit of the standalone LP path but
+/// over the integer lattice.
+fn solve_rowless(
+    model: &Model,
+    opts: &SolverOptions,
+) -> Result<(Solution, BranchBoundStats), SolveError> {
+    let sense_mul = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; model.vars.len()];
+    for (v, c) in model.objective.iter() {
+        cost[v.index()] += c * sense_mul;
+    }
+    let mut values = Vec::with_capacity(model.vars.len());
+    for (vi, var) in model.vars.iter().enumerate() {
+        let (mut l, mut u) = (var.lower, var.upper);
+        if var.integer {
+            if l.is_finite() {
+                l = (l - opts.int_tol).ceil();
+            }
+            if u.is_finite() {
+                u = (u + opts.int_tol).floor();
+            }
+            if l > u {
+                // No integer fits the box (e.g. fixed at a fraction).
+                return Err(SolveError::Infeasible);
+            }
+        }
+        let c = cost[vi];
+        let x = if c > opts.feas_tol {
+            if !l.is_finite() {
+                return Err(SolveError::Unbounded);
+            }
+            l
+        } else if c < -opts.feas_tol {
+            if !u.is_finite() {
+                return Err(SolveError::Unbounded);
+            }
+            u
+        } else if l.is_finite() {
+            // Costless variables rest at a bound (matching the LP
+            // relaxation's shifted/mirrored origin), at 0 when free.
+            l
+        } else if u.is_finite() {
+            u
+        } else {
+            0.0
+        };
+        values.push(x);
+    }
+    let objective = model.objective.eval(&values);
+    let sol = Solution {
+        values,
+        objective,
+        status: Status::Optimal,
+    };
+    let stats = BranchBoundStats {
+        nodes: 1,
+        incumbents: 1,
+        root_bound: objective,
+        dual_bound: objective,
+        cold_solves: 1,
+        first_incumbent_node: 1,
+        incumbent_trace: vec![(1, objective)],
+        node_bounds: vec![objective],
+        queue_peak: 1,
+        order: opts.node_order,
+        ..BranchBoundStats::default()
+    };
+    Ok((sol, stats))
+}
+
+/// Whole-solve oracle cross-validation, armed when the caller requested
+/// [`Kernel::DenseTableau`] for a MILP: the search itself ran on the
+/// unified warm backend (in the oracle configuration from
+/// [`SolverOptions::resolve`]); here the incumbent's integer assignment
+/// is pinned on a model clone and re-solved by the genuine dense
+/// tableau, which must reproduce the objective. The incumbent point is
+/// feasible for the pinned model and every point of the pinned model
+/// lies in the incumbent's node box, so the two objectives tie at an
+/// exact optimum — any disagreement is a numerical verdict, not noise.
+fn cross_validate_dense(
+    model: &Model,
+    opts: &SolverOptions,
+    sol: &Solution,
+) -> Result<(), SolveError> {
+    let mut pinned = model.clone();
+    for (v, var) in model.vars() {
+        if var.is_integer() {
+            let val = sol.value(v).round().clamp(var.lower(), var.upper());
+            pinned.fix_var(v, val);
+        }
+    }
+    let oracle = SolverOptions {
+        kernel: Kernel::DenseTableau,
+        ..opts.clone()
+    };
+    let check = match pinned.solve_relaxation_counted(&oracle) {
+        Ok((check, _pivots)) => check,
+        Err(e) => {
+            return Err(SolveError::Numerical(format!(
+                "dense-oracle cross-validation failed on the pinned incumbent: {e:?}"
+            )))
+        }
+    };
+    let tol = 1e-6 * sol.objective.abs().max(1.0);
+    if (check.objective - sol.objective).abs() > tol {
+        return Err(SolveError::Numerical(format!(
+            "dense-oracle cross-validation disagrees: search {} vs tableau {}",
+            sol.objective, check.objective
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -2182,10 +2201,11 @@ mod tests {
         );
     }
 
-    /// Both node orderings, on both backends, agree with each other and
-    /// with the oracle kernel on a family needing real search.
+    /// Both node orderings, under both kernel requests, agree with each
+    /// other on a family needing real search (the dense-tableau request
+    /// additionally cross-validates its incumbent against the tableau).
     #[test]
-    fn node_orders_agree_on_both_backends() {
+    fn node_orders_agree_across_kernels() {
         let mut m = Model::new(Sense::Maximize);
         let n = 12;
         let mut obj = LinExpr::new();
@@ -2250,10 +2270,11 @@ mod tests {
         }
     }
 
-    /// Free integers cannot use bound rows; the legacy path must engage
-    /// and still answer correctly — under both node orderings.
+    /// Free integers branch natively through their split-pair columns
+    /// on the warm path — one cold root solve, every other node a warm
+    /// reoptimization — under both node orderings.
     #[test]
-    fn free_integer_falls_back_to_legacy() {
+    fn free_integer_branches_on_the_warm_path() {
         for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
             let mut m = Model::new(Sense::Minimize);
             let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, true);
@@ -2264,8 +2285,56 @@ mod tests {
                 ..Default::default()
             };
             let (sol, stats) = solve_with_stats(&m, &opts).unwrap();
-            assert_eq!(sol.int_value(x), -2);
-            assert_eq!(stats.warm_solves, 0, "legacy path must not warm-start");
+            assert_eq!(sol.int_value(x), -2, "{order:?}");
+            assert_eq!(
+                stats.cold_solves, 1,
+                "{order:?}: warm path must engage (one cold root solve)"
+            );
+            assert_eq!(stats.cold_solves + stats.warm_solves, stats.nodes);
         }
+    }
+
+    /// Mirrored integers (finite upper bound, lower −∞) branch through
+    /// flipped column boxes; the answer must round toward the feasible
+    /// side and stay on the warm path.
+    #[test]
+    fn mirrored_integer_branches_on_the_warm_path() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 3.5, true);
+        m.set_objective(LinExpr::var(x));
+        m.add_constraint(LinExpr::var(x), cmp::GE, -10.0);
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.cold_solves + stats.warm_solves, stats.nodes);
+    }
+
+    /// A rowless model (every constraint folds to a satisfied constant)
+    /// solves in closed form, integer boxes respected.
+    #[test]
+    fn rowless_models_solve_in_closed_form() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer("x", -4.6, 9.0);
+        let y = m.add_integer("y", 1.2, 7.8);
+        let z = m.add_continuous("z", 2.0, 5.0);
+        m.set_objective(1.0 * x - 2.0 * y + 0.5 * z);
+        let (sol, stats) = solve_with_stats(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.int_value(x), -4);
+        assert_eq!(sol.int_value(y), 7);
+        assert!((sol[z] - 2.0).abs() < 1e-9);
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.cold_solves, 1);
+
+        // An integer fixed at a fraction has no lattice point.
+        let mut m = Model::new(Sense::Minimize);
+        let w = m.add_integer("w", 2.5, 2.5);
+        m.set_objective(LinExpr::var(w));
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+
+        // A favorable unbounded direction is reported as such.
+        let mut m = Model::new(Sense::Maximize);
+        let f = m.add_var("f", f64::NEG_INFINITY, f64::INFINITY, true);
+        m.set_objective(LinExpr::var(f));
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
     }
 }

@@ -128,15 +128,20 @@
 //! test and bench gates assert that injected runs prove the same optima
 //! as their clean twins.
 //!
-//! The search itself is one generic core with pluggable **node
-//! ordering** ([`SolverOptions::node_order`]): depth-first with the
-//! nearer branching side explored first ([`NodeOrder::DfsNearerFirst`],
-//! the default), or a best-bound priority queue
-//! ([`NodeOrder::BestBound`]) that expands nodes in parent-LP-bound
-//! order with the parent basis handed off across jumps — the remedy for
-//! DFS plateau incumbents under tight node caps. Both orderings run on
-//! either LP backend (warm revised kernel or the rebuild-per-node
-//! legacy/oracle path); see the `branch_bound` module docs.
+//! The search itself is one generic core over **one LP backend** — the
+//! warm revised kernel — with pluggable **node ordering**
+//! ([`SolverOptions::node_order`]): depth-first with the nearer
+//! branching side explored first ([`NodeOrder::DfsNearerFirst`], the
+//! default), or a best-bound priority queue ([`NodeOrder::BestBound`])
+//! that expands nodes in parent-LP-bound order with the parent basis
+//! handed off across jumps — the remedy for DFS plateau incumbents
+//! under tight node caps. Every integer variable shape branches
+//! natively: a node box on a shifted, mirrored (upper-bounded, lower
+//! −∞), or fully free (split-pair) integer translates to in-place
+//! column-bound updates on the bounded-variable form, so warm starts,
+//! steepest-edge weights, and pseudo-costs survive across nodes for
+//! every model. The historical rebuild-per-node `LegacyBackend` is
+//! gone; see the `branch_bound` module docs.
 //!
 //! # Branching and node scoring
 //!
@@ -185,11 +190,14 @@
 //!
 //! # Concurrency model
 //!
-//! [`SolverOptions::workers`]` >= 2` runs the warm revised path as a
+//! [`SolverOptions::workers`]` >= 2` runs the search as a
 //! **work-stealing parallel branch & bound** (the `parallel` module);
 //! `workers = 1` (the default) routes through the serial core unchanged
 //! and is bit-exact with the historical single-threaded trajectories.
-//! Ownership is strictly layered:
+//! Every model parallelizes — mirrored and free integers included;
+//! there is no serial-only model class. Unsupported knob combinations
+//! are normalized loudly in one place ([`SolverOptions::resolve`]), not
+//! silently ignored per call site. Ownership is strictly layered:
 //!
 //! * **Per worker (exclusive):** one `Revised` kernel with its own
 //!   sparse LU factors, eta file, fault injector, and recovery ladder
@@ -231,11 +239,15 @@
 //! one.
 //!
 //! The original dense full-tableau two-phase simplex is retained as a
-//! **cross-validation oracle** ([`Kernel::DenseTableau`]): an
-//! independent implementation whose objectives and feasibility verdicts
-//! the property tests compare against on random LPs/MILPs, and the
+//! **kernel-level cross-validation oracle** ([`Kernel::DenseTableau`]):
+//! an independent implementation whose objectives and feasibility
+//! verdicts the property tests compare against on random LPs/MILPs, the
 //! baseline the `milp_scaling` bench measures speedups over
-//! (`BENCH_milp.json`).
+//! (`BENCH_milp.json`), and rung 6 of the per-node recovery ladder. It
+//! is no longer a separate search backend: a MILP solved under
+//! [`Kernel::DenseTableau`] runs the unified warm search in the oracle
+//! configuration and then re-solves the incumbent's pinned integer
+//! assignment on the genuine tableau, failing loudly on disagreement.
 //!
 //! Numerics are deliberately tolerance-based (no exact arithmetic): the
 //! retiming/recycling MILPs have at most a few thousand rows and very

@@ -123,14 +123,20 @@ pub enum Kernel {
     #[default]
     Revised,
     /// The original dense full-tableau two-phase simplex, kept as a
-    /// cross-validation oracle (and for A/B benchmarking). Branch & bound
-    /// re-solves every node from scratch with this kernel.
+    /// cross-validation oracle (and for A/B benchmarking). Pure LP
+    /// relaxations solve directly on the tableau. A branch & bound
+    /// search requested with this kernel runs the unified warm revised
+    /// backend in the oracle configuration ([`SolverOptions::resolve`]:
+    /// dense factors, product-form updates, Dantzig pricing, cold node
+    /// solves, one worker) and then cross-validates the incumbent's
+    /// pinned integer assignment against the genuine dense tableau.
     DenseTableau,
 }
 
 /// Which basis factorization backs the revised kernel's eta file (see
-/// the `factor` module docs). Ignored by [`Kernel::DenseTableau`], which
-/// has no factorization at all.
+/// the `factor` module docs). Under [`Kernel::DenseTableau`] this is
+/// normalized to [`FactorKind::Dense`] by [`SolverOptions::resolve`]
+/// (the pure-LP tableau itself carries no factorization).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FactorKind {
     /// Sparse LU with Markowitz pivot ordering and threshold partial
@@ -166,8 +172,9 @@ pub enum UpdateKind {
 
 /// Pricing rule of the revised simplex kernel — how the primal phase
 /// picks its entering column and how the dual reoptimizer picks its
-/// leaving row (see the crate-level "Pricing" docs). Ignored by
-/// [`Kernel::DenseTableau`], which prices Dantzig unconditionally.
+/// leaving row (see the crate-level "Pricing" docs). Under
+/// [`Kernel::DenseTableau`] this is normalized to [`Pricing::Dantzig`]
+/// by [`SolverOptions::resolve`] — the tableau oracle's one rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Pricing {
     /// Steepest-edge-style pricing in both simplex directions: the dual
@@ -289,11 +296,12 @@ pub struct SolverOptions {
     pub faults: Option<crate::FaultPlan>,
     /// Branch & bound worker threads. `1` (the default) runs the serial
     /// search core and is bit-exact with the historical trajectories;
-    /// `>= 2` runs the work-stealing parallel search on the warm revised
-    /// path, where each worker owns its own kernel and factors and
-    /// claims bounded DFS episodes from a shared frontier (see the
-    /// crate-level "Concurrency model" docs). Models that fall back to
-    /// the legacy per-node-rebuild backend ignore this and run serially.
+    /// `>= 2` runs the work-stealing parallel search, where each worker
+    /// owns its own kernel and factors and claims bounded DFS episodes
+    /// from a shared frontier (see the crate-level "Concurrency model"
+    /// docs). Every model parallelizes — there is no serial-only model
+    /// class; [`SolverOptions::resolve`] normalizes `0` to `1` and pins
+    /// the [`Kernel::DenseTableau`] oracle configuration to `1`.
     pub workers: usize,
     /// Branching-variable selection rule (see [`Branching`]).
     pub branching: Branching,
@@ -352,6 +360,72 @@ impl SolverOptions {
             time_limit: Some(limit),
             ..Self::default()
         }
+    }
+
+    /// Resolves the requested options into the configuration the engine
+    /// actually runs, normalizing — in this one place — every knob
+    /// combination the engine cannot honor. Returns the effective
+    /// options plus one human-readable note per normalized knob, so
+    /// callers surface what changed instead of silently ignoring
+    /// settings at scattered call sites.
+    ///
+    /// Normalizations:
+    /// * `workers == 0` becomes `1` (a solve needs one worker).
+    /// * [`Kernel::DenseTableau`] is an oracle request: the search runs
+    ///   the unified warm revised backend pinned to the dense-oracle
+    ///   setup — one worker, [`Pricing::Dantzig`],
+    ///   [`UpdateKind::ProductForm`], [`FactorKind::Dense`], cold node
+    ///   solves — and the incumbent is cross-validated against the
+    ///   genuine dense tableau afterwards.
+    ///
+    /// Deliberately *not* normalized: [`FactorKind::Dense`] +
+    /// [`UpdateKind::ForrestTomlin`] (the dense factor internally
+    /// degrades to the product form; a documented, tested property of
+    /// the factor layer rather than an option conflict).
+    pub fn resolve(&self) -> (SolverOptions, Vec<String>) {
+        let mut eff = self.clone();
+        let mut notes = Vec::new();
+        if eff.workers == 0 {
+            notes.push("workers: 0 -> 1 (a solve needs one worker)".to_string());
+            eff.workers = 1;
+        }
+        if eff.kernel == Kernel::DenseTableau {
+            if eff.workers != 1 {
+                notes.push(format!(
+                    "workers: {} -> 1 (the DenseTableau oracle runs serially)",
+                    eff.workers
+                ));
+                eff.workers = 1;
+            }
+            if eff.pricing != Pricing::Dantzig {
+                notes.push(format!(
+                    "pricing: {:?} -> Dantzig (the tableau oracle's one rule)",
+                    eff.pricing
+                ));
+                eff.pricing = Pricing::Dantzig;
+            }
+            if eff.update != UpdateKind::ProductForm {
+                notes.push(format!(
+                    "update: {:?} -> ProductForm (the oracle configuration)",
+                    eff.update
+                ));
+                eff.update = UpdateKind::ProductForm;
+            }
+            if eff.factor != FactorKind::Dense {
+                notes.push(format!(
+                    "factor: {:?} -> Dense (the oracle configuration)",
+                    eff.factor
+                ));
+                eff.factor = FactorKind::Dense;
+            }
+            if eff.warm_start {
+                notes.push(
+                    "warm_start: true -> false (oracle nodes re-solve from scratch)".to_string(),
+                );
+                eff.warm_start = false;
+            }
+        }
+        (eff, notes)
     }
 }
 
@@ -665,15 +739,18 @@ impl Model {
         &self,
         opts: &SolverOptions,
     ) -> Result<(Solution, usize), SolveError> {
+        // Both kernels run off the same resolved options — the one
+        // normalization point for every unsupported-knob combination.
+        let (opts, _notes) = opts.resolve();
         let (values, pivots) = match opts.kernel {
             Kernel::Revised => {
                 let bf = crate::standard::BoxedForm::build(self);
-                let (raw, pivots) = crate::revised::solve(&bf, opts)?;
+                let (raw, pivots) = crate::revised::solve(&bf, &opts)?;
                 (bf.sf.recover(&raw), pivots)
             }
             Kernel::DenseTableau => {
                 let sf = StandardForm::build(self);
-                let (raw, pivots) = simplex::solve(&sf, opts)?;
+                let (raw, pivots) = simplex::solve(&sf, &opts)?;
                 (sf.recover(&raw), pivots)
             }
         };
@@ -711,6 +788,53 @@ mod tests {
         m.add_constraint(LinExpr::var(x) + 3.0, cmp::LE, 5.0);
         let sol = m.solve().unwrap();
         assert!((sol[x] - 2.0).abs() < 1e-7);
+    }
+
+    /// `SolverOptions::resolve` is the one normalization point: the
+    /// dense-oracle request pins its whole configuration loudly (one
+    /// note per overridden knob), `workers: 0` becomes 1, and a
+    /// production-default request passes through untouched.
+    #[test]
+    fn resolve_normalizes_unsupported_combinations_loudly() {
+        let (eff, notes) = SolverOptions::default().resolve();
+        assert!(notes.is_empty(), "defaults must pass through: {notes:?}");
+        assert_eq!(eff.workers, 1);
+        assert_eq!(eff.pricing, Pricing::SteepestEdge);
+
+        let (eff, notes) = SolverOptions {
+            workers: 0,
+            ..Default::default()
+        }
+        .resolve();
+        assert_eq!(eff.workers, 1);
+        assert_eq!(notes.len(), 1, "{notes:?}");
+
+        let (eff, notes) = SolverOptions {
+            kernel: Kernel::DenseTableau,
+            workers: 4,
+            ..Default::default()
+        }
+        .resolve();
+        assert_eq!(eff.kernel, Kernel::DenseTableau);
+        assert_eq!(eff.workers, 1);
+        assert_eq!(eff.pricing, Pricing::Dantzig);
+        assert_eq!(eff.update, UpdateKind::ProductForm);
+        assert_eq!(eff.factor, FactorKind::Dense);
+        assert!(!eff.warm_start);
+        // workers, pricing, update, factor, warm_start each noted.
+        assert_eq!(notes.len(), 5, "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("pricing")), "{notes:?}");
+
+        // Dense factor + Forrest–Tomlin under the revised kernel is a
+        // documented internal degradation, not an option conflict.
+        let (eff, notes) = SolverOptions {
+            factor: FactorKind::Dense,
+            update: UpdateKind::ForrestTomlin,
+            ..Default::default()
+        }
+        .resolve();
+        assert_eq!(eff.update, UpdateKind::ForrestTomlin);
+        assert!(notes.is_empty(), "{notes:?}");
     }
 
     #[test]

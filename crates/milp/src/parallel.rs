@@ -38,10 +38,11 @@
 //! or the single shared deadline) marks the search truncated and stops
 //! every worker at its next claim.
 //!
-//! Only the warm revised path parallelizes; `workers <= 1` and the
-//! legacy rebuild-per-node backend route through the serial
-//! [`crate::branch_bound`] core unchanged, which is what makes
-//! `workers = 1` bit-exact with the historical trajectories.
+//! Every model parallelizes — shifted, mirrored, and free (split-pair)
+//! integers all branch through the same in-place column-box updates.
+//! `workers <= 1` routes through the serial [`crate::branch_bound`]
+//! core unchanged, which is what makes `workers = 1` bit-exact with the
+//! historical trajectories.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -55,7 +56,7 @@ use crate::expr::VarId;
 use crate::model::{Branching, Model, NodeOrder, Sense, SolverOptions};
 use crate::revised::Revised;
 use crate::solution::{Solution, SolveError};
-use crate::standard::BoxedForm;
+use crate::standard::{BoxedForm, ColMap};
 
 /// Search-wide state behind the frontier lock.
 struct Shared {
@@ -324,9 +325,6 @@ impl Worker<'_, '_> {
         let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(ctx.int_vars.len());
         for &v in &ctx.int_vars {
             let vi = v.index();
-            if !self.backend.branchable(vi) {
-                continue;
-            }
             let val = sol.value(v).round().clamp(self.lo[vi], self.hi[vi]);
             pins.push((vi, val));
             restore.push((vi, self.lo[vi], self.hi[vi]));
@@ -622,7 +620,7 @@ pub(crate) fn solve_parallel(
     opts: &SolverOptions,
     hint: &[(VarId, f64)],
     form: Arc<BoxedForm>,
-    int_cols: Vec<Option<(usize, f64)>>,
+    int_maps: Vec<Option<ColMap>>,
     deadline: Option<Instant>,
 ) -> Result<(Solution, BranchBoundStats), SolveError> {
     let workers = opts.workers;
@@ -691,7 +689,7 @@ pub(crate) fn solve_parallel(
                 backend: WarmBackend {
                     model,
                     form: Arc::clone(&form),
-                    int_cols: int_cols.clone(),
+                    int_maps: int_maps.clone(),
                     kernel,
                     active_cuts: vec![false; form.cut_rows.len()],
                 },
@@ -714,7 +712,7 @@ pub(crate) fn solve_parallel(
         let mut restore: Vec<(usize, f64, f64)> = Vec::with_capacity(hint.len());
         for &(v, val) in hint {
             let vi = v.index();
-            if !model.var(v).is_integer() || !w0.backend.branchable(vi) {
+            if !model.var(v).is_integer() {
                 continue;
             }
             let val = val.round().clamp(w0.lo[vi], w0.hi[vi]);

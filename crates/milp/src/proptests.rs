@@ -95,8 +95,150 @@ fn planted_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = Planted
     })
 }
 
+/// A planted MILP whose integer variables carry the bound shapes the
+/// legacy backend used to own: negative boxes (shifted by a negative
+/// finite lower bound), mirrored (upper bound only, lower −∞), and
+/// fully free (split-pair columns). The planted integer point lives in
+/// `[-6, 6]^n`; per-variable **anchor rows** `x_i ≥ p_i − 5` and
+/// `x_i ≤ p_i + 5` — genuine constraint rows, not variable bounds —
+/// keep every shape bounded without reintroducing the finite bounds the
+/// shapes are meant to avoid.
+#[derive(Debug, Clone)]
+struct PlantedUnboxedMilp {
+    nvars: usize,
+    /// 0 = negative box, 1 = mirrored, 2 = free.
+    shapes: Vec<u8>,
+    point: Vec<f64>,
+    rows: Vec<(Vec<f64>, bool, f64)>,
+    obj: Vec<f64>,
+    maximize: bool,
+}
+
+impl PlantedUnboxedMilp {
+    fn build(&self) -> (Model, Vec<crate::VarId>) {
+        let sense = if self.maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        };
+        let mut m = Model::new(sense);
+        let vars: Vec<_> = (0..self.nvars)
+            .map(|i| {
+                let (lo, hi) = match self.shapes[i] {
+                    0 => (-9.0, 9.0),
+                    1 => (f64::NEG_INFINITY, 9.0),
+                    _ => (f64::NEG_INFINITY, f64::INFINITY),
+                };
+                m.add_var(format!("x{i}"), lo, hi, true)
+            })
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, &c) in self.obj.iter().enumerate() {
+            obj += c * vars[i];
+        }
+        m.set_objective(obj);
+        for (i, &v) in vars.iter().enumerate() {
+            m.add_constraint(LinExpr::var(v), cmp::GE, self.point[i] - 5.0);
+            m.add_constraint(LinExpr::var(v), cmp::LE, self.point[i] + 5.0);
+        }
+        for (coeffs, is_le, slack) in &self.rows {
+            let mut e = LinExpr::new();
+            let mut lhs_at_point = 0.0;
+            for (i, &c) in coeffs.iter().enumerate() {
+                e += c * vars[i];
+                lhs_at_point += c * self.point[i];
+            }
+            if *is_le {
+                m.add_constraint(e, cmp::LE, lhs_at_point + slack);
+            } else {
+                m.add_constraint(e, cmp::GE, lhs_at_point - slack);
+            }
+        }
+        (m, vars)
+    }
+}
+
+fn planted_unboxed_milp(
+    max_vars: usize,
+    max_rows: usize,
+) -> impl Strategy<Value = PlantedUnboxedMilp> {
+    (2..=max_vars, 1..=max_rows, any::<bool>()).prop_flat_map(move |(nv, nr, maximize)| {
+        let shapes = proptest::collection::vec((0u32..3).prop_map(|s| s as u8), nv);
+        let point = proptest::collection::vec((-6..=6i32).prop_map(|v| v as f64), nv);
+        let row = (
+            proptest::collection::vec(-4..=4i32, nv)
+                .prop_map(|v| v.into_iter().map(|c| c as f64).collect::<Vec<_>>()),
+            any::<bool>(),
+            (0..=40i32).prop_map(|s| s as f64 / 4.0),
+        );
+        let rows = proptest::collection::vec(row, nr);
+        let obj = proptest::collection::vec(-5..=5i32, nv)
+            .prop_map(|v| v.into_iter().map(|c| c as f64).collect::<Vec<_>>());
+        (shapes, point, rows, obj).prop_map(move |(shapes, point, rows, obj)| PlantedUnboxedMilp {
+            nvars: nv,
+            shapes,
+            point,
+            rows,
+            obj,
+            maximize,
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Unboxed-integer oracle**: MILPs whose integers carry negative,
+    /// mirrored, and fully free bound shapes — the class the deleted
+    /// `LegacyBackend` used to own — must branch natively on the warm
+    /// path and agree with the dense-tableau oracle request across every
+    /// `NodeOrder` × `Branching` × `workers ∈ {1, 2}` combination, with
+    /// integral feasible points throughout.
+    #[test]
+    fn mirrored_and_free_integers_agree_with_dense_oracle(
+        lp in planted_unboxed_milp(4, 3),
+    ) {
+        let (m, vars) = lp.build();
+        let base = SolverOptions { max_nodes: 4_000, ..Default::default() };
+        let (dense, dense_stats) = crate::solve_with_stats(
+            &m,
+            &SolverOptions { kernel: Kernel::DenseTableau, ..base.clone() },
+        )
+        .expect("planted MILP must be feasible");
+        prop_assert!(m.max_violation(dense.values(), 1e-6) < 1e-5);
+        for order in [NodeOrder::DfsNearerFirst, NodeOrder::BestBound] {
+            for workers in [1usize, 2] {
+                for branching in [Branching::MostFractional, Branching::PseudoCost] {
+                    let opts = SolverOptions {
+                        node_order: order,
+                        workers,
+                        branching,
+                        ..base.clone()
+                    };
+                    let (sol, stats) = crate::solve_with_stats(&m, &opts)
+                        .expect("planted MILP must be feasible");
+                    prop_assert!(m.max_violation(sol.values(), 1e-6) < 1e-5);
+                    for (i, &v) in vars.iter().enumerate() {
+                        let x = sol[v];
+                        prop_assert!(
+                            (x - x.round()).abs() < 1e-6,
+                            "x{i} = {x} not integral (shape {})",
+                            lp.shapes[i]
+                        );
+                    }
+                    if stats.truncated || dense_stats.truncated {
+                        continue;
+                    }
+                    prop_assert!(
+                        (sol.objective - dense.objective).abs() < 1e-7,
+                        "{order:?}/workers={workers}/{branching:?}: warm {} vs dense oracle {}",
+                        sol.objective,
+                        dense.objective
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn lp_solutions_are_feasible_and_beat_planted_point(lp in planted_lp(6, 5)) {

@@ -41,6 +41,41 @@ pub(crate) enum ColMap {
     Fixed { value: f64 },
 }
 
+impl ColMap {
+    /// Translates a model-space box `[lo, hi]` on this variable into
+    /// column-box updates `(col, l, u)` on the bounded-variable form —
+    /// the dynamic counterpart of the build-time substitution, which is
+    /// what lets branch & bound tighten *any* variable shape in place:
+    ///
+    /// * `Shifted`: `x = lb + y` ⇒ `y ∈ [lo − lb, hi − lb]`.
+    /// * `Mirrored`: `x = ub − y` ⇒ the flipped box `y ∈ [ub − hi, ub − lo]`
+    ///   (`ub` is finite by construction, so no `∞ − ∞` can occur; a
+    ///   `lo = −∞` side simply leaves `y` unbounded above).
+    /// * `Split`: `x = y⁺ − y⁻` with the box-consistency rule
+    ///   `y⁺ ∈ [max(lo, 0), max(hi, 0)]`, `y⁻ ∈ [max(−hi, 0), max(−lo, 0)]`.
+    ///   Exact in both directions: every `x ∈ [lo, hi]` is representable
+    ///   and every in-box pair recovers an `x ∈ [lo, hi]` (when
+    ///   `lo > 0` the negative column is pinned to 0, when `hi < 0` the
+    ///   positive one — the pair can never stretch past the box).
+    /// * `Fixed`: no columns, nothing to update.
+    ///
+    /// Because these are pure bound updates, they route through the same
+    /// dual-feasibility-preserving [`crate::revised::Revised::set_col_bounds`]
+    /// machinery as ordinary boxed integers: warm starts, steepest-edge
+    /// weights, and pseudo-costs all survive across nodes.
+    pub(crate) fn box_updates(self, lo: f64, hi: f64) -> [Option<(usize, f64, f64)>; 2] {
+        match self {
+            ColMap::Shifted { col, lb } => [Some((col, lo - lb, hi - lb)), None],
+            ColMap::Mirrored { col, ub } => [Some((col, ub - hi, ub - lo)), None],
+            ColMap::Split { pos, neg } => [
+                Some((pos, lo.max(0.0), hi.max(0.0))),
+                Some((neg, (-hi).max(0.0), (-lo).max(0.0))),
+            ],
+            ColMap::Fixed { .. } => [None, None],
+        }
+    }
+}
+
 /// Kind of auxiliary column appended to a row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RowAux {
@@ -383,6 +418,51 @@ mod tests {
         m.add_constraint(LinExpr::var(x), cmp::GE, 2.0);
         let sf = StandardForm::build(&m);
         assert!(sf.proven_infeasible);
+    }
+
+    #[test]
+    fn box_updates_round_trip_through_every_map_shape() {
+        // Shifted: x = -1 + y, box [0, 3] => y in [1, 4].
+        let shifted = ColMap::Shifted { col: 0, lb: -1.0 };
+        assert_eq!(shifted.box_updates(0.0, 3.0), [Some((0, 1.0, 4.0)), None]);
+
+        // Mirrored: x = 7 - y, box [2, 5] => flipped box y in [2, 5].
+        let mirrored = ColMap::Mirrored { col: 1, ub: 7.0 };
+        assert_eq!(mirrored.box_updates(2.0, 5.0), [Some((1, 2.0, 5.0)), None]);
+        // A half-open model box leaves y unbounded above, never NaN.
+        let [Some((_, l, u)), None] = mirrored.box_updates(f64::NEG_INFINITY, 4.0) else {
+            panic!("mirrored map must touch exactly one column");
+        };
+        assert_eq!((l, u), (3.0, f64::INFINITY));
+
+        // Split: x = y+ - y-. Every box lands exactly: the off-sign
+        // column is pinned to zero, so the pair cannot stretch past it.
+        let split = ColMap::Split { pos: 2, neg: 3 };
+        assert_eq!(
+            split.box_updates(-5.0, -2.0),
+            [Some((2, 0.0, 0.0)), Some((3, 2.0, 5.0))]
+        );
+        assert_eq!(
+            split.box_updates(-1.0, 3.0),
+            [Some((2, 0.0, 3.0)), Some((3, 0.0, 1.0))]
+        );
+        let updates = split.box_updates(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(
+            updates,
+            [Some((2, 0.0, f64::INFINITY)), Some((3, 0.0, f64::INFINITY))]
+        );
+        // Per-column sanity across all shapes: l <= u always.
+        for map in [shifted, mirrored, split, ColMap::Fixed { value: 9.0 }] {
+            for (lo, hi) in [(-2.5, -2.5), (-2.5, 6.0), (0.0, 0.0), (3.0, 8.5)] {
+                for upd in map.box_updates(lo, hi).into_iter().flatten() {
+                    assert!(upd.1 <= upd.2 + 1e-12, "{map:?} {lo} {hi} -> {upd:?}");
+                }
+            }
+        }
+        assert_eq!(
+            ColMap::Fixed { value: 9.0 }.box_updates(1.0, 2.0),
+            [None, None]
+        );
     }
 
     #[test]

@@ -67,6 +67,15 @@ cargo test -q --offline --release --test pseudo_cost_search
 echo "==> cargo test --test pricing_search (pricing agreement gate)"
 cargo test -q --offline --release --test pricing_search
 
+# The backend-unification gate: the two PR 4 golden instances must
+# replay bit-exact through the unified warm backend, mirrored/free
+# integer fixtures (the deleted LegacyBackend's model class) must solve
+# warm at workers∈{1,2} and agree with the dense oracle, and
+# source-level assertions pin that no model clone lives in the node
+# loop. Fixed seeds and node caps, so failures reproduce exactly.
+echo "==> cargo test --test backend_unification (one-backend gate)"
+cargo test -q --offline --release --test backend_unification
+
 # The reduced Table-2 sweep: all 18 ISCAS89 profiles scaled to 20 edges
 # under a deterministic per-MILP node budget (the generous wall clock
 # never binds in practice). Before pseudo-cost branching and cycle-sum
